@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the discrete-event substrate: event queue
+//! throughput and the engine loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use linger_sim_core::{Context, Engine, EventQueue, SimDuration, SimTime, Simulation};
+use std::hint::black_box;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                // Pseudo-random timestamps exercise heap reordering.
+                let mut x = 0x2545F4914F6CDD1Du64;
+                for i in 0..10_000u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.schedule(SimTime::from_nanos(x % 1_000_000_000), i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("schedule_cancel_half_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                let handles: Vec<_> = (0..10_000u64)
+                    .map(|i| q.schedule(SimTime::from_nanos(i * 37 % 999_983), i))
+                    .collect();
+                for h in handles.iter().step_by(2) {
+                    q.cancel(*h);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+struct Chain {
+    left: u32,
+}
+impl Simulation for Chain {
+    type Event = ();
+    fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.schedule_in(SimDuration::from_micros(10), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_chain_100k_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Chain { left: 100_000 });
+            eng.prime(SimTime::ZERO, ());
+            eng.run_to_completion();
+            black_box(eng.events_handled())
+        })
+    });
+}
+
+criterion_group!(benches, bench_queue, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the single-node scheduler: fine-grain execution
+//! and the Fig 5 simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linger_node::{simulate_single_node, FineGrainCpu, FixedUtilization, SingleNodeConfig};
+use linger_sim_core::{domains, RngFactory, SimDuration};
+use std::hint::black_box;
+
+fn bench_consume(c: &mut Criterion) {
+    let f = RngFactory::new(3);
+    for u in [0.2, 0.8] {
+        c.bench_function(&format!("fine_grain_consume_10s_u{}", (u * 100.0) as u32), |b| {
+            b.iter(|| {
+                let src = FixedUtilization::new(u, f.stream_for(domains::FINE_BURSTS, 0));
+                let mut cpu = FineGrainCpu::new(src, SimDuration::from_micros(100));
+                black_box(cpu.consume(SimDuration::from_secs(10)))
+            })
+        });
+    }
+}
+
+fn bench_single_node(c: &mut Criterion) {
+    c.bench_function("fig5_point_60s", |b| {
+        let cfg = SingleNodeConfig {
+            utilization: 0.5,
+            context_switch: SimDuration::from_micros(100),
+            duration: SimDuration::from_secs(60),
+            seed: 1,
+        };
+        b.iter(|| black_box(simulate_single_node(&cfg)))
+    });
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    use linger_node::{simulate_kernel, KernelConfig, LocalProcessSpec};
+    c.bench_function("kernel_model_60s", |b| {
+        let cfg = KernelConfig {
+            processes: vec![LocalProcessSpec::from_bucket(0.3)],
+            duration: SimDuration::from_secs(60),
+            seed: 2,
+            ..Default::default()
+        };
+        b.iter(|| black_box(simulate_kernel(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench_consume, bench_single_node, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Parallel-simulator benchmarks: BSP runs and the application models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linger_parallel::{run_bsp, App, BspConfig};
+use std::hint::black_box;
+
+fn bench_bsp(c: &mut Criterion) {
+    c.bench_function("bsp_8proc_200phase", |b| {
+        let cfg = BspConfig::fig9();
+        let utils = [0.0, 0.2, 0.0, 0.0, 0.2, 0.0, 0.0, 0.2];
+        b.iter(|| black_box(run_bsp(&cfg, &utils, 5, 1)))
+    });
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_iteration");
+    for app in App::ALL {
+        g.bench_function(app.name(), |b| {
+            let cfg = app.config(8, 8);
+            let utils = [0.2; 8];
+            b.iter(|| black_box(run_bsp(&cfg, &utils, 5, 2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_cluster(c: &mut Criterion) {
+    use linger_parallel::{simulate_parallel_cluster, ParallelClusterConfig, ParallelPolicy};
+    use linger_sim_core::{SimDuration, SimTime};
+    use linger_workload::CoarseTraceConfig;
+    c.bench_function("parallel_cluster_throughput_1h", |b| {
+        let cfg = ParallelClusterConfig {
+            nodes: 16,
+            width: 4,
+            phases: 120,
+            horizon: SimTime::from_secs(3600),
+            trace: CoarseTraceConfig {
+                duration: SimDuration::from_secs(3600),
+                ..Default::default()
+            },
+            seed: 3,
+            ..Default::default()
+        };
+        b.iter(|| black_box(simulate_parallel_cluster(&cfg, ParallelPolicy::Linger)))
+    });
+}
+
+criterion_group!(benches, bench_bsp, bench_apps, bench_parallel_cluster);
+criterion_main!(benches);

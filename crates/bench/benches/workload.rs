@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the workload substrate: burst generation,
+//! moment fitting, dispatch-trace synthesis and coarse-trace synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linger_sim_core::{domains, RngFactory, SimDuration};
+use linger_stats::fit_two_moments;
+use linger_workload::{BurstGenerator, CoarseTraceConfig, DispatchTrace, FineGrainAnalysis};
+use std::hint::black_box;
+
+fn bench_bursts(c: &mut Criterion) {
+    c.bench_function("burst_generation_100k", |b| {
+        let f = RngFactory::new(1);
+        b.iter(|| {
+            let mut gen = BurstGenerator::paper(0.35);
+            let mut rng = f.stream_for(domains::FINE_BURSTS, 0);
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(gen.next_burst(&mut rng).duration.as_nanos());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    c.bench_function("two_moment_fit_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..1000 {
+                let mean = i as f64 * 1e-4;
+                for cv2 in [0.3, 1.0, 4.0, 12.0] {
+                    let f = fit_two_moments(mean, cv2 * mean * mean);
+                    acc += linger_stats::Distribution::mean(&f);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let f = RngFactory::new(2);
+    c.bench_function("dispatch_trace_60s", |b| {
+        b.iter(|| {
+            black_box(DispatchTrace::synthesize_fixed(
+                &f,
+                0,
+                0.5,
+                SimDuration::from_secs(60),
+            ))
+        })
+    });
+    c.bench_function("coarse_trace_4h", |b| {
+        let cfg = CoarseTraceConfig::default();
+        b.iter(|| black_box(cfg.synthesize(&f, 0)))
+    });
+    c.bench_function("fine_grain_analysis_60s", |b| {
+        let trace = DispatchTrace::synthesize_fixed(&f, 0, 0.5, SimDuration::from_secs(60));
+        b.iter(|| {
+            let mut an = FineGrainAnalysis::new(false);
+            an.ingest(&trace);
+            black_box(an.to_param_table())
+        })
+    });
+}
+
+criterion_group!(benches, bench_bursts, bench_fit, bench_traces);
+criterion_main!(benches);

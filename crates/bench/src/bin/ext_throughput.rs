@@ -1,0 +1,42 @@
+//! Extension: end-to-end cluster throughput for parallel jobs (the
+//! paper's conclusion lists this evaluation as ongoing work) — rigid
+//! idle-only placement vs. lingering placement across offered loads.
+
+use linger_bench::output::{banner, note_artifact, HarnessArgs};
+use linger_bench::{ext_parallel_throughput, write_json, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Extension: parallel cluster throughput",
+        "rigid idle-only vs lingering placement",
+    );
+    let rows = ext_parallel_throughput(args.seed, args.fast);
+    let mut t = Table::new(vec![
+        "interarrival (s)",
+        "rigid jobs/h",
+        "linger jobs/h",
+        "rigid resp (s)",
+        "linger resp (s)",
+        "rigid stall %",
+        "linger slowdown",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.interarrival_secs),
+            format!("{:.1}", r.rigid.jobs_per_hour),
+            format!("{:.1}", r.linger.jobs_per_hour),
+            format!("{:.0}", r.rigid.mean_response_secs),
+            format!("{:.0}", r.linger.mean_response_secs),
+            format!("{:.1}", r.rigid.stall_fraction * 100.0),
+            format!("{:.2}", r.linger.mean_slowdown),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(lingering admits jobs the rigid social contract must queue; the gain grows\n\
+         with offered load, at the cost of per-job slowdown — the trade-off the paper\n\
+         predicted its end-to-end study would show)"
+    );
+    note_artifact("ext_throughput", write_json("ext_throughput", &rows));
+}

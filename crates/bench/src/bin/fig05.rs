@@ -1,0 +1,65 @@
+//! Fig 5: Local-job Delay Ratio (a) and Fine-grain Cycle Stealing Ratio
+//! (b) versus local CPU usage, for 100/300/500 µs context switches.
+
+use linger_bench::output::{banner, note_artifact, HarnessArgs};
+use linger_bench::{fig05, write_json, AsciiChart, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Fig 5", "LDR and FCSR vs local CPU usage");
+    let grid = fig05(args.seed, args.fast);
+    for (label, metric) in [("(a) Local job Delay Ratio", 0), ("(b) Cycle Stealing Ratio", 1)] {
+        println!("\n{label}");
+        let mut t = Table::new(vec!["cpu %", "100 usec", "300 usec", "500 usec"]);
+        for ui in 0..9 {
+            let cells: Vec<String> = (0..3)
+                .map(|ci| {
+                    let r = &grid[ci * 9 + ui];
+                    if metric == 0 {
+                        format!("{:.4}", r.ldr)
+                    } else {
+                        format!("{:.1}%", r.fcsr * 100.0)
+                    }
+                })
+                .collect();
+            t.row(vec![
+                format!("{}", (ui + 1) * 10),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+        }
+        t.print();
+    }
+    for (title, metric) in [("LDR", 0usize), ("FCSR", 1)] {
+        let mut chart = AsciiChart::new(54, 10).labels(
+            "local CPU usage (%)",
+            if metric == 0 { "delay ratio" } else { "stealing ratio" },
+        );
+        for (ci, marker) in [(0usize, '1'), (1, '3'), (2, '5')] {
+            chart = chart.series(
+                marker,
+                (0..9)
+                    .map(|ui| {
+                        let r = &grid[ci * 9 + ui];
+                        let y = if metric == 0 { r.ldr } else { r.fcsr };
+                        (((ui + 1) * 10) as f64, y)
+                    })
+                    .collect(),
+            );
+        }
+        println!("\n{title} (markers: 1=100us, 3=300us, 5=500us)");
+        println!("{}", chart.render());
+    }
+    let peak_100 = grid[..9].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
+    let peak_500 = grid[18..].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
+    let min_fcsr = grid.iter().map(|r| r.fcsr).fold(1.0f64, f64::min);
+    println!(
+        "\npeak LDR: {:.2}% @100us (paper ~1%), {:.2}% @500us (paper ~8%); \
+         min FCSR {:.1}% (paper >90%)",
+        peak_100 * 100.0,
+        peak_500 * 100.0,
+        min_fcsr * 100.0
+    );
+    note_artifact("fig05", write_json("fig05", &grid));
+}

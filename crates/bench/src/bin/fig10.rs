@@ -1,0 +1,42 @@
+//! Fig 10: slowdown versus synchronization granularity (10 ms – 10 s)
+//! with 1/2/4/8 non-idle nodes at 20% local utilization.
+
+use linger_bench::output::{banner, note_artifact, HarnessArgs};
+use linger_bench::{fig10, write_json, AsciiChart, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Fig 10", "Synchronization Granularity vs Slowdown (20% local load)");
+    let pts = fig10(args.seed, args.fast);
+    let gs: Vec<u64> = {
+        let mut v: Vec<u64> = pts.iter().map(|p| p.granularity_ms).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut t = Table::new(vec!["granularity (ms)", "1 node", "2 nodes", "4 nodes", "8 nodes"]);
+    for g in gs {
+        let get = |k: usize| {
+            pts.iter()
+                .find(|p| p.granularity_ms == g && p.non_idle == k)
+                .map(|p| format!("{:.2}", p.slowdown))
+                .unwrap_or_default()
+        };
+        t.row(vec![format!("{g}"), get(1), get(2), get(4), get(8)]);
+    }
+    t.print();
+    // Log-x chart, one marker per non-idle count (1/2/4/8).
+    let mut chart = AsciiChart::new(56, 12).labels("log10 granularity (ms)", "slowdown");
+    for (k, marker) in [(1usize, '1'), (2, '2'), (4, '4'), (8, '8')] {
+        chart = chart.series(
+            marker,
+            pts.iter()
+                .filter(|p| p.non_idle == k)
+                .map(|p| ((p.granularity_ms as f64).log10(), p.slowdown))
+                .collect(),
+        );
+    }
+    println!("\n{}", chart.render());
+    println!("(paper: larger granularity -> less slowdown; 4 non-idle nodes stay under ~1.5 at coarse grain)");
+    note_artifact("fig10", write_json("fig10", &pts));
+}

@@ -1,0 +1,305 @@
+//! Run the whole evaluation suite (Figs 2–13), write every result into
+//! `results/`, and print a paper-versus-measured scorecard.
+//!
+//! `--fast` scales every experiment down for a quick smoke run;
+//! `--seed <n>` selects the master seed (default 1998).
+
+use linger_bench::output::{note_artifact, HarnessArgs};
+use linger_bench::*;
+
+struct Check {
+    name: &'static str,
+    paper: String,
+    measured: String,
+    ok: bool,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let t0 = std::time::Instant::now();
+    let mut checks: Vec<Check> = Vec::new();
+
+    println!("running Fig 2 …");
+    let f2 = fig02(args.seed, args.fast);
+    note_artifact("fig02", write_json("fig02", &f2));
+    let ks_worst = f2.iter().map(|b| b.ks_run.max(b.ks_idle)).fold(0.0f64, f64::max);
+    checks.push(Check {
+        name: "Fig 2: fitted vs empirical burst CDFs",
+        paper: "curves almost exactly match".into(),
+        measured: format!("worst KS distance {ks_worst:.3}"),
+        ok: ks_worst < 0.1,
+    });
+
+    println!("running Fig 3 …");
+    let f3 = fig03(args.seed, args.fast);
+    note_artifact("fig03", write_json("fig03", &f3));
+    let mid_err = f3
+        .iter()
+        .filter(|r| (20..=80).contains(&r.level_pct) && r.model_run_mean > 0.0 && r.windows > 50)
+        .map(|r| (r.run_mean - r.model_run_mean).abs() / r.model_run_mean)
+        .fold(0.0f64, f64::max);
+    checks.push(Check {
+        name: "Fig 3: burst moments re-derived per bucket",
+        paper: "monotone run-burst growth to ~0.28 s".into(),
+        measured: format!("worst mid-bucket run-mean error {:.0}%", mid_err * 100.0),
+        ok: mid_err < 0.5,
+    });
+
+    println!("running Fig 4 …");
+    let f4 = fig04(args.seed, args.fast);
+    note_artifact("fig04", write_json("fig04", &f4));
+    checks.push(Check {
+        name: "Fig 4 / Sec 3.2: idleness + memory anchors",
+        paper: "46% non-idle; 76% low-cpu; >=14MB @P90".into(),
+        measured: format!(
+            "{:.0}% non-idle; {:.0}% low-cpu; {:.1}MB @P90",
+            f4.non_idle_fraction * 100.0,
+            f4.non_idle_low_cpu_fraction * 100.0,
+            f4.p90_free_kb / 1024.0
+        ),
+        ok: (f4.non_idle_fraction - 0.46).abs() < 0.10
+            && (f4.non_idle_low_cpu_fraction - 0.76).abs() < 0.10
+            && f4.p90_free_kb >= 12_000.0,
+    });
+
+    println!("running Fig 5 …");
+    let f5 = fig05(args.seed, args.fast);
+    note_artifact("fig05", write_json("fig05", &f5));
+    let peak_100 = f5[..9].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
+    let peak_500 = f5[18..].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
+    let min_fcsr = f5.iter().map(|r| r.fcsr).fold(1.0f64, f64::min);
+    checks.push(Check {
+        name: "Fig 5: LDR ~1% @100us, ~8% @500us; FCSR >90%",
+        paper: "1% / 8% / >90%".into(),
+        measured: format!(
+            "{:.1}% / {:.1}% / {:.0}%",
+            peak_100 * 100.0,
+            peak_500 * 100.0,
+            min_fcsr * 100.0
+        ),
+        ok: peak_100 < 0.02 && (0.03..0.10).contains(&peak_500) && min_fcsr > 0.90,
+    });
+
+    println!("running Fig 6 …");
+    let f6 = fig06(args.seed, args.fast);
+    note_artifact("fig06", write_json("fig06", &f6));
+    checks.push(Check {
+        name: "Fig 6: two-level pipeline coherence",
+        paper: "fine-grain stream realizes coarse trace".into(),
+        measured: format!("corr {:.2}, MAE {:.3}", f6.correlation, f6.mean_abs_error),
+        ok: f6.correlation > 0.8 && f6.mean_abs_error < 0.08,
+    });
+
+    println!("running Figs 7+8 (cluster; this is the long one) …");
+    let f7 = fig07(args.seed, args.fast);
+    note_artifact("fig07", write_json("fig07", &f7));
+    let (ll, lf, ie, pm) = (&f7.workload1[0], &f7.workload1[1], &f7.workload1[2], &f7.workload1[3]);
+    checks.push(Check {
+        name: "Fig 7 w1: LL/LF cut avg completion vs IE/PM",
+        paper: "1044/1026 vs 1531/1531 s (-32%)".into(),
+        measured: format!(
+            "{:.0}/{:.0} vs {:.0}/{:.0} s",
+            ll.avg_completion_secs, lf.avg_completion_secs, ie.avg_completion_secs, pm.avg_completion_secs
+        ),
+        ok: ll.avg_completion_secs < 0.8 * ie.avg_completion_secs,
+    });
+    checks.push(Check {
+        name: "Fig 7 w1: throughput gain (headline '60%')",
+        paper: "LL 52.2 / LF 55.5 vs IE,PM 34.6 (+51-60%)".into(),
+        measured: format!(
+            "LL {:.1} / LF {:.1} vs IE {:.1}, PM {:.1} (+{:.0}%)",
+            ll.throughput,
+            lf.throughput,
+            ie.throughput,
+            pm.throughput,
+            (lf.throughput / pm.throughput - 1.0) * 100.0
+        ),
+        ok: lf.throughput > 1.4 * pm.throughput,
+    });
+    checks.push(Check {
+        name: "Fig 7: foreground slowdown (headline '0.5%')",
+        paper: "<0.5%".into(),
+        measured: format!("{:.2}%", ll.foreground_delay * 100.0),
+        ok: ll.foreground_delay < 0.006,
+    });
+    let w2 = &f7.workload2;
+    let spread = {
+        let avgs: Vec<f64> = w2.iter().map(|m| m.avg_completion_secs).collect();
+        let lo = avgs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = avgs.iter().cloned().fold(0.0f64, f64::max);
+        (hi - lo) / lo
+    };
+    checks.push(Check {
+        name: "Fig 7 w2: light load — policies nearly identical",
+        paper: "1859-1862 s (all within 0.2%)".into(),
+        measured: format!("spread {:.1}%", spread * 100.0),
+        ok: spread < 0.10,
+    });
+    checks.push(Check {
+        name: "Fig 8: queue time drives the w1 gap",
+        paper: "linger policies cut queue time".into(),
+        measured: format!(
+            "queued: LL {:.0}s vs IE {:.0}s",
+            ll.avg_breakdown.queued, ie.avg_breakdown.queued
+        ),
+        ok: ie.avg_breakdown.queued > 1.5 * ll.avg_breakdown.queued,
+    });
+
+    println!("running Fig 9 …");
+    let f9 = fig09(args.seed, args.fast);
+    note_artifact("fig09", write_json("fig09", &f9));
+    let low_ok = f9[1..=4].iter().all(|p| p.slowdown < 2.0);
+    checks.push(Check {
+        name: "Fig 9: BSP slowdown vs one node's load",
+        paper: "1.1-1.5 below 40%; ~9 at 90%".into(),
+        measured: format!(
+            "{:.2} at 20%, {:.2} at 40%, {:.1} at 90%",
+            f9[2].slowdown, f9[4].slowdown, f9[9].slowdown
+        ),
+        ok: low_ok && f9[9].slowdown > 4.0,
+    });
+
+    println!("running Fig 10 …");
+    let f10 = fig10(args.seed, args.fast);
+    note_artifact("fig10", write_json("fig10", &f10));
+    let fine = f10.iter().find(|p| p.granularity_ms == 10 && p.non_idle == 4).unwrap().slowdown;
+    let coarse = f10
+        .iter()
+        .find(|p| p.granularity_ms == 10_000 && p.non_idle == 4)
+        .unwrap()
+        .slowdown;
+    checks.push(Check {
+        name: "Fig 10: coarser sync granularity -> less slowdown",
+        paper: "4 non-idle: ~2+ at 10ms falling under 1.5".into(),
+        measured: format!("{fine:.2} at 10ms vs {coarse:.2} at 10s"),
+        ok: fine > coarse && coarse < 1.8,
+    });
+
+    println!("running Fig 11 …");
+    let f11 = fig11(args.seed);
+    note_artifact("fig11", write_json("fig11", &f11));
+    let ll16_beats = [20usize, 14, 10].iter().all(|&i| {
+        let ll = f11.iter().find(|p| p.idle == i && p.strategy == "16 nodes").unwrap();
+        let rc = f11.iter().find(|p| p.idle == i && p.strategy == "reconfig").unwrap();
+        ll.completion_secs <= rc.completion_secs * 1.05
+    });
+    checks.push(Check {
+        name: "Fig 11: LL-8/LL-16 beat reconfiguration",
+        paper: "LL outperforms reconfig at 8 or 16 nodes".into(),
+        measured: format!("LL-16 <= reconfig at 20/14/10 idle: {ll16_beats}"),
+        ok: ll16_beats,
+    });
+
+    println!("running Fig 12 …");
+    let f12 = fig12(args.seed);
+    note_artifact("fig12", write_json("fig12", &f12));
+    let pick = |app: &str, k: usize, u: f64| {
+        f12.iter()
+            .find(|p| p.app == app && p.non_idle == k && (p.local_util - u).abs() < 1e-9)
+            .unwrap()
+            .slowdown
+    };
+    let ordered = pick("sor", 8, 0.4) > pick("water", 8, 0.4)
+        && pick("water", 8, 0.4) > pick("fft", 8, 0.4);
+    checks.push(Check {
+        name: "Fig 12: app sensitivity ordering sor > water > fft",
+        paper: "sor most sensitive; fft least".into(),
+        measured: format!(
+            "@8x40%: sor {:.2}, water {:.2}, fft {:.2}",
+            pick("sor", 8, 0.4),
+            pick("water", 8, 0.4),
+            pick("fft", 8, 0.4)
+        ),
+        ok: ordered,
+    });
+    checks.push(Check {
+        name: "Fig 12: all-8-non-idle @20% roughly doubles",
+        paper: "just above a factor of 2".into(),
+        measured: format!("sor {:.2}", pick("sor", 8, 0.2)),
+        ok: (1.3..2.8).contains(&pick("sor", 8, 0.2)),
+    });
+
+    println!("running Fig 13 …");
+    let f13 = fig13(args.seed);
+    note_artifact("fig13", write_json("fig13", &f13));
+    let ll16_wins = ["sor", "water", "fft"].iter().all(|&app| {
+        [15usize, 13, 12].iter().all(|&i| {
+            let ll = f13
+                .iter()
+                .find(|p| p.app == app && p.idle == i && p.strategy == "16 node linger")
+                .unwrap();
+            let rc = f13
+                .iter()
+                .find(|p| p.app == app && p.idle == i && p.strategy == "reconfiguration")
+                .unwrap();
+            ll.slowdown < rc.slowdown
+        })
+    });
+    checks.push(Check {
+        name: "Fig 13: LL-16 beats reconfiguration at >=12 idle",
+        paper: "LL-16 wins when idle >= 12".into(),
+        measured: format!("holds for all apps: {ll16_wins}"),
+        ok: ll16_wins,
+    });
+
+    println!("running extensions (hybrid, throughput, predictor) …");
+    let eh = ext_hybrid(args.seed);
+    note_artifact("ext_hybrid", write_json("ext_hybrid", &eh));
+    let worst_regret = eh
+        .iter()
+        .map(|p| p.hybrid_secs / p.oracle_secs)
+        .fold(0.0f64, f64::max);
+    checks.push(Check {
+        name: "Ext: hybrid width predictor vs oracle",
+        paper: "Sec 5.2: 'a hybrid strategy … may be the best approach'".into(),
+        measured: format!("worst regret {:.1}%", (worst_regret - 1.0) * 100.0),
+        ok: worst_regret < 1.25,
+    });
+    let et = ext_parallel_throughput(args.seed, args.fast);
+    note_artifact("ext_throughput", write_json("ext_throughput", &et));
+    let heavy = &et[0];
+    checks.push(Check {
+        name: "Ext: parallel cluster throughput under saturation",
+        paper: "conclusion: lingering should offset per-job slowdown".into(),
+        measured: format!(
+            "linger {:.1} vs rigid {:.1} jobs/h at heaviest load",
+            heavy.linger.jobs_per_hour, heavy.rigid.jobs_per_hour
+        ),
+        ok: heavy.linger.jobs_per_hour > 1.2 * heavy.rigid.jobs_per_hour,
+    });
+    let ep = linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 });
+    note_artifact("ext_predictor", write_json("ext_predictor", &ep));
+    let pareto_best = ep
+        .iter()
+        .filter(|r| r.episodes.starts_with("pareto"))
+        .min_by(|a, b| a.mean_regret.partial_cmp(&b.mean_regret).unwrap())
+        .unwrap();
+    checks.push(Check {
+        name: "Ext: median-remaining-life optimal on Pareto episodes",
+        paper: "heuristic after Harchol-Balter & Downey".into(),
+        measured: format!("best Pareto rule: {}", pareto_best.rule),
+        ok: pareto_best.rule == "median-remaining-life",
+    });
+
+    println!("\n================= paper-vs-measured scorecard =================");
+    let mut pass = 0;
+    for c in &checks {
+        println!(
+            "[{}] {}\n      paper:    {}\n      measured: {}",
+            if c.ok { "PASS" } else { "WARN" },
+            c.name,
+            c.paper,
+            c.measured
+        );
+        if c.ok {
+            pass += 1;
+        }
+    }
+    println!(
+        "\n{pass}/{} checks within band; total time {:?}; seed {}{}",
+        checks.len(),
+        t0.elapsed(),
+        args.seed,
+        if args.fast { " (fast mode)" } else { "" }
+    );
+}

@@ -1,0 +1,174 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! Not a plotting library — just enough to render the *shape* of each
+//! figure (multiple series over a shared x-axis) next to the exact
+//! numbers in the tables, the way the paper's figures accompany its
+//! prose.
+
+/// A multi-series scatter/line chart rendered with Unicode-free ASCII.
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    y_label: String,
+    x_label: String,
+}
+
+impl AsciiChart {
+    /// A chart `width`×`height` characters (plot area, excluding axes).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "chart too small to read");
+        AsciiChart {
+            width,
+            height,
+            series: Vec::new(),
+            y_label: String::new(),
+            x_label: String::new(),
+        }
+    }
+
+    /// Axis labels.
+    pub fn labels<S: Into<String>>(mut self, x: S, y: S) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Add a series plotted with marker `marker`.
+    pub fn series(mut self, marker: char, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((marker, points));
+        self
+    }
+
+    /// Render to a string (empty if no finite points were supplied).
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return String::new();
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &pts {
+            x_lo = x_lo.min(*x);
+            x_hi = x_hi.max(*x);
+            y_lo = y_lo.min(*y);
+            y_hi = y_hi.max(*y);
+        }
+        // Include zero on the y axis when it is nearby (figure style).
+        if y_lo > 0.0 && y_lo < 0.5 * y_hi {
+            y_lo = 0.0;
+        }
+        if (x_hi - x_lo).abs() < 1e-12 {
+            x_hi = x_lo + 1.0;
+        }
+        if (y_hi - y_lo).abs() < 1e-12 {
+            y_hi = y_lo + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (marker, points) in &self.series {
+            for (x, y) in points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                let cell = &mut grid[row][cx.min(self.width - 1)];
+                // Later series win collisions; mark overlaps with '*'.
+                *cell = if *cell == ' ' || *cell == *marker { *marker } else { '*' };
+            }
+        }
+
+        let mut out = String::new();
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("{}\n", self.y_label));
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let y_tick = if i == 0 {
+                format!("{y_hi:>8.2}")
+            } else if i == self.height - 1 {
+                format!("{y_lo:>8.2}")
+            } else {
+                " ".repeat(8)
+            };
+            out.push_str(&y_tick);
+            out.push_str(" |");
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(9));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>9}{:<width$}{}\n",
+            format!("{x_lo:.0} "),
+            "",
+            format!("{x_hi:.0}  ({})", self.x_label),
+            width = self.width.saturating_sub(12)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_bounds() {
+        let c = AsciiChart::new(40, 10)
+            .labels("x", "y")
+            .series('o', vec![(0.0, 0.0), (10.0, 5.0), (20.0, 10.0)]);
+        let s = c.render();
+        assert!(s.contains('o'));
+        // All lines bounded by the frame width.
+        for line in s.lines() {
+            assert!(line.len() <= 40 + 12, "line too long: {line}");
+        }
+        assert!(s.contains("10.00"), "y max tick missing:\n{s}");
+    }
+
+    #[test]
+    fn empty_series_renders_nothing() {
+        let c = AsciiChart::new(20, 5).series('x', vec![]);
+        assert_eq!(c.render(), "");
+    }
+
+    #[test]
+    fn collisions_are_starred() {
+        let c = AsciiChart::new(20, 5)
+            .series('a', vec![(0.0, 0.0), (1.0, 1.0)])
+            .series('b', vec![(0.0, 0.0)]);
+        let s = c.render();
+        assert!(s.contains('*'), "overlap should star:\n{s}");
+        assert!(s.contains('a'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let c = AsciiChart::new(20, 5).series('c', vec![(1.0, 3.0), (2.0, 3.0)]);
+        let s = c.render();
+        assert!(s.contains('c'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let c = AsciiChart::new(20, 5)
+            .series('p', vec![(f64::NAN, 1.0), (1.0, f64::INFINITY), (1.0, 1.0)]);
+        let s = c.render();
+        assert!(s.contains('p'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_charts() {
+        let _ = AsciiChart::new(4, 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Result emission: aligned text tables on stdout and JSON files under
+//! `results/`.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple fixed-width text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(s, "{c:>w$}  ");
+            }
+            s.trim_end().to_string()
+        };
+        let header = line(&self.headers);
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(header.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Directory the harness writes results into: `$LINGER_RESULTS` or
+/// `results/` relative to the working directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("LINGER_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Serialize `value` as pretty JSON into `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let file = std::fs::File::create(&path)?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(path)
+}
+
+/// Parse harness CLI flags shared by every figure binary.
+///
+/// Supported: `--seed <n>` (default 1998), `--fast` (scaled-down run for
+/// smoke testing), and `--reps <n>` (replications with confidence
+/// intervals, where the binary supports it).
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Master seed.
+    pub seed: u64,
+    /// Scale runs down for fast smoke tests.
+    pub fast: bool,
+    /// Replication count for binaries that support error bars.
+    pub reps: u32,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut seed = 1998u64;
+        let mut fast = false;
+        let mut reps = 1u32;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed requires an integer");
+                }
+                "--reps" => {
+                    reps = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--reps requires an integer");
+                }
+                "--fast" => fast = true,
+                other => {
+                    panic!("unknown argument '{other}' (expected --seed <n> | --reps <n> | --fast)")
+                }
+            }
+        }
+        HarnessArgs { seed, fast, reps }
+    }
+}
+
+/// Write `path`'s file name and a short banner for a figure binary.
+pub fn banner(fig: &str, caption: &str) {
+    println!("== {fig} — {caption} ==");
+}
+
+/// Report where a JSON artifact went (best effort — failures to persist
+/// results must not fail the experiment).
+pub fn note_artifact(name: &str, res: std::io::Result<std::path::PathBuf>) {
+    match res {
+        Ok(p) => println!("[wrote {}]", display_rel(&p)),
+        Err(e) => eprintln!("[warn: could not write {name}.json: {e}]"),
+    }
+}
+
+fn display_rel(p: &Path) -> String {
+    p.display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["policy", "value"]);
+        t.row(vec!["LL", "1"]).row(vec!["IE", "1234"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("policy"));
+        assert!(lines[3].ends_with("1234"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        let dir = std::env::temp_dir().join("linger-bench-test");
+        std::env::set_var("LINGER_RESULTS", &dir);
+        let path = write_json("unit_test", &vec![1, 2, 3]).unwrap();
+        let data: Vec<u32> =
+            serde_json::from_reader(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(data, vec![1, 2, 3]);
+        std::env::remove_var("LINGER_RESULTS");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Cluster experiment configuration.
+
+use crate::network::NetworkModel;
+use linger::{JobFamily, Policy, PolicyParams};
+use linger_sim_core::{SimDuration, SimTime};
+use linger_workload::{BurstParamTable, CoarseTraceConfig, TOTAL_MEMORY_KB};
+use serde::{Deserialize, Serialize};
+
+/// What the simulation run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Submit the family at time zero and run until every job completes
+    /// (the Fig 7 Avg-Job / Variation / Family-Time columns).
+    Family,
+    /// Hold the number of jobs in the system constant for a fixed horizon
+    /// (the Fig 7 Throughput column: "we hold the number of jobs in the
+    /// system … constant for a simulated one-hour execution").
+    Throughput {
+        /// The fixed horizon (paper: one hour).
+        horizon: SimTime,
+    },
+}
+
+/// Full configuration of a cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of workstations (paper: 64).
+    pub nodes: usize,
+    /// Scheduling policy and its parameters.
+    pub params: PolicyParams,
+    /// The foreign jobs to run.
+    pub family: JobFamily,
+    /// Family or constant-load throughput mode.
+    pub mode: RunMode,
+    /// Coarse-trace synthesis configuration (one trace per node, replayed
+    /// from a random offset).
+    pub trace: CoarseTraceConfig,
+    /// Fine-grain burst parameter table.
+    pub table: BurstParamTable,
+    /// Physical memory per node, KB.
+    pub node_memory_kb: u32,
+    /// Shared migration network. `None` charges each migration the fixed
+    /// per-flow cost from [`linger::MigrationCostModel`]; `Some` makes
+    /// concurrent migrations contend for the backbone.
+    pub network: Option<NetworkModel>,
+    /// Master seed.
+    pub seed: u64,
+    /// Safety horizon for family mode (a run that exceeds it aborts).
+    pub max_time: SimTime,
+}
+
+impl ClusterConfig {
+    /// The paper's Sec 4.2 setup for the given policy and job family:
+    /// 64 nodes, paper-calibrated workload models and migration costs.
+    pub fn paper(policy: Policy, family: JobFamily) -> Self {
+        ClusterConfig {
+            nodes: 64,
+            params: PolicyParams::paper(policy),
+            family,
+            mode: RunMode::Family,
+            trace: CoarseTraceConfig {
+                duration: SimDuration::from_secs(4 * 3600),
+                ..Default::default()
+            },
+            table: BurstParamTable::paper_calibrated(),
+            node_memory_kb: TOTAL_MEMORY_KB,
+            network: None,
+            seed: 0,
+            max_time: SimTime::from_secs(24 * 3600),
+        }
+    }
+
+    /// Switch to constant-load throughput mode with the paper's one-hour
+    /// horizon.
+    pub fn with_throughput_mode(mut self) -> Self {
+        self.mode = RunMode::Throughput { horizon: SimTime::from_secs(3600) };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = ClusterConfig::paper(Policy::LingerLonger, JobFamily::workload_1());
+        assert_eq!(c.nodes, 64);
+        assert_eq!(c.family.len(), 128);
+        assert_eq!(c.mode, RunMode::Family);
+        assert_eq!(c.node_memory_kb, 64 * 1024);
+    }
+
+    #[test]
+    fn throughput_mode_sets_one_hour() {
+        let c = ClusterConfig::paper(Policy::LingerLonger, JobFamily::workload_2())
+            .with_throughput_mode();
+        assert_eq!(c.mode, RunMode::Throughput { horizon: SimTime::from_secs(3600) });
+    }
+}

@@ -1,0 +1,49 @@
+//! # linger-cluster
+//!
+//! The cluster simulator of *Linger Longer* (SC'98), Sec 4.2: sequential
+//! foreign jobs scheduled across a cluster of user workstations under the
+//! four policies (LL, LF, IE, PM), with trace-driven local workloads,
+//! two-pool memory gating, and the fixed + size/bandwidth migration cost
+//! model.
+//!
+//! * [`config`] — experiment configuration (the paper's 64-node setup);
+//! * [`state`] — job lifecycle states and the Fig 8 breakdown;
+//! * [`network`] — the shared migration network (eviction-storm
+//!   contention);
+//! * [`sim`] — the window-stepped simulation;
+//! * [`metrics`] — the Fig 7 metrics and the policy-comparison driver.
+
+//! ## Example
+//!
+//! ```
+//! use linger::{JobFamily, Policy};
+//! use linger_cluster::{ClusterConfig, ClusterSim};
+//! use linger_sim_core::SimDuration;
+//!
+//! let mut cfg = ClusterConfig::paper(
+//!     Policy::LingerLonger,
+//!     JobFamily::uniform(4, SimDuration::from_secs(60), 8 * 1024),
+//! );
+//! cfg.nodes = 4;
+//! cfg.trace.duration = SimDuration::from_secs(1800);
+//! let mut sim = ClusterSim::new(cfg);
+//! assert!(sim.run());
+//! assert_eq!(sim.completed(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod network;
+pub mod sim;
+pub mod state;
+
+pub use config::{ClusterConfig, RunMode};
+pub use metrics::{
+    evaluate_policy, evaluate_policy_replicated, policy_comparison, BreakdownSecs, Estimate,
+    PolicyMetrics, ReplicatedMetrics,
+};
+pub use network::NetworkModel;
+pub use sim::{ClusterSim, WINDOW};
+pub use state::{JobRecord, JobState, NodeId, NodeState, StateBreakdown};

@@ -1,0 +1,224 @@
+//! Runtime state of jobs and nodes in the cluster simulation.
+
+use linger::JobSpec;
+use linger_sim_core::{SimDuration, SimTime};
+use linger_workload::{CoarseTrace, TwoPoolMemory};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Index of a node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Where a job is in its lifecycle. Mirrors the Fig 8 state breakdown
+/// ("queued, running, lingering (running on a non-idle node), paused,
+/// migrating").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the central queue with no node.
+    Queued,
+    /// Executing on an idle (recruited) node.
+    Running,
+    /// Executing at starvation priority on a non-idle node.
+    Lingering,
+    /// Suspended in place (Pause-and-Migrate grace period).
+    Paused,
+    /// In transit between nodes (or re-materializing after eviction).
+    Migrating,
+    /// Finished.
+    Done,
+}
+
+/// Cumulative time a job has spent in each state (the Fig 8 bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateBreakdown {
+    /// Time in the central queue.
+    pub queued: SimDuration,
+    /// Time running on idle nodes.
+    pub running: SimDuration,
+    /// Time lingering on non-idle nodes.
+    pub lingering: SimDuration,
+    /// Time suspended by Pause-and-Migrate.
+    pub paused: SimDuration,
+    /// Time in transit.
+    pub migrating: SimDuration,
+}
+
+impl StateBreakdown {
+    /// Record `dt` in the bucket for `state`.
+    pub fn add(&mut self, state: JobState, dt: SimDuration) {
+        match state {
+            JobState::Queued => self.queued += dt,
+            JobState::Running => self.running += dt,
+            JobState::Lingering => self.lingering += dt,
+            JobState::Paused => self.paused += dt,
+            JobState::Migrating => self.migrating += dt,
+            JobState::Done => {}
+        }
+    }
+
+    /// Sum over all states.
+    pub fn total(&self) -> SimDuration {
+        self.queued + self.running + self.lingering + self.paused + self.migrating
+    }
+
+    /// Merge another breakdown (for averaging across jobs).
+    pub fn merge(&mut self, other: &StateBreakdown) {
+        self.queued += other.queued;
+        self.running += other.running;
+        self.lingering += other.lingering;
+        self.paused += other.paused;
+        self.migrating += other.migrating;
+    }
+}
+
+/// A job being tracked by the scheduler.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The static spec.
+    pub spec: JobSpec,
+    /// CPU time still owed.
+    pub remaining: SimDuration,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Node currently hosting (or receiving) the job.
+    pub node: Option<NodeId>,
+    /// When the current non-idle episode began (while lingering/paused).
+    pub episode_start: Option<SimTime>,
+    /// Migration completes at this time (while migrating; with a shared
+    /// network this covers only the fixed processing part).
+    pub migration_until: Option<SimTime>,
+    /// Bits still to transfer (shared-network mode only).
+    pub migration_bits_left: Option<f64>,
+    /// PM grace period expires at this time (while paused).
+    pub pause_deadline: Option<SimTime>,
+    /// First time the job started executing (for the Variation metric).
+    pub first_start: Option<SimTime>,
+    /// Completion time.
+    pub completed_at: Option<SimTime>,
+    /// Whether the job has ever run (re-placements pay migration cost).
+    pub has_run: bool,
+    /// Per-state time accounting.
+    pub breakdown: StateBreakdown,
+    /// Number of migrations (including evictions) the job suffered.
+    pub migrations: u32,
+}
+
+impl JobRecord {
+    /// A fresh record for `spec`, queued.
+    pub fn new(spec: JobSpec) -> Self {
+        JobRecord {
+            spec,
+            remaining: spec.cpu_demand,
+            state: JobState::Queued,
+            node: None,
+            episode_start: None,
+            migration_until: None,
+            migration_bits_left: None,
+            pause_deadline: None,
+            first_start: None,
+            completed_at: None,
+            has_run: false,
+            breakdown: StateBreakdown::default(),
+            migrations: 0,
+        }
+    }
+
+    /// Completion time from submission (the Fig 7 "Avg. Job" metric
+    /// includes "waiting time before initially being executed, paused
+    /// time, and migration time").
+    pub fn completion_time(&self) -> Option<SimDuration> {
+        self.completed_at.map(|t| t.saturating_since(self.spec.arrival))
+    }
+
+    /// Execution time from first start to completion (the Fig 7
+    /// "Variation" metric is its std-dev).
+    pub fn execution_time(&self) -> Option<SimDuration> {
+        match (self.first_start, self.completed_at) {
+            (Some(s), Some(e)) => Some(e.saturating_since(s)),
+            _ => None,
+        }
+    }
+}
+
+/// A workstation in the cluster.
+pub struct NodeState {
+    /// Replayed coarse trace.
+    pub trace: Arc<CoarseTrace>,
+    /// Start offset into the trace (random per node, Sec 4.2).
+    pub offset: usize,
+    /// Two-pool memory state.
+    pub memory: TwoPoolMemory,
+    /// The job currently on (or reserved for) this node.
+    pub hosted: Option<usize>, // index into the sim's job table
+}
+
+impl NodeState {
+    /// Trace sample index for window `w`.
+    pub fn sample_index(&self, w: usize) -> usize {
+        self.offset + w
+    }
+
+    /// Local CPU utilization during window `w`.
+    pub fn cpu(&self, w: usize) -> f64 {
+        self.trace.sample(self.sample_index(w)).cpu
+    }
+
+    /// Recruited (idle) during window `w`?
+    pub fn is_idle(&self, w: usize) -> bool {
+        self.trace.is_idle(self.sample_index(w))
+    }
+
+    /// Local memory demand during window `w` (KB).
+    pub fn mem_used(&self, w: usize) -> u32 {
+        self.trace.sample(self.sample_index(w)).mem_used_kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linger::JobId;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: JobId(0),
+            cpu_demand: SimDuration::from_secs(600),
+            mem_kb: 8192,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_totals() {
+        let mut b = StateBreakdown::default();
+        b.add(JobState::Queued, SimDuration::from_secs(10));
+        b.add(JobState::Running, SimDuration::from_secs(20));
+        b.add(JobState::Lingering, SimDuration::from_secs(5));
+        b.add(JobState::Done, SimDuration::from_secs(99)); // ignored
+        assert_eq!(b.total(), SimDuration::from_secs(35));
+        let mut c = StateBreakdown::default();
+        c.add(JobState::Migrating, SimDuration::from_secs(1));
+        b.merge(&c);
+        assert_eq!(b.total(), SimDuration::from_secs(36));
+    }
+
+    #[test]
+    fn record_times() {
+        let mut r = JobRecord::new(spec());
+        assert_eq!(r.completion_time(), None);
+        assert_eq!(r.execution_time(), None);
+        r.first_start = Some(SimTime::from_secs(100));
+        r.completed_at = Some(SimTime::from_secs(700));
+        assert_eq!(r.completion_time(), Some(SimDuration::from_secs(700)));
+        assert_eq!(r.execution_time(), Some(SimDuration::from_secs(600)));
+    }
+
+    #[test]
+    fn fresh_record_owes_full_demand() {
+        let r = JobRecord::new(spec());
+        assert_eq!(r.remaining, SimDuration::from_secs(600));
+        assert_eq!(r.state, JobState::Queued);
+        assert!(!r.has_run);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cluster-simulator invariant tests: state-machine soundness across
+//! randomized configurations.
+
+use linger::{JobFamily, Policy};
+use linger_cluster::{ClusterConfig, ClusterSim, JobState, RunMode};
+use linger_sim_core::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn cfg(policy: Policy, nodes: usize, jobs: u32, demand_s: u64, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper(
+        policy,
+        JobFamily::uniform(jobs, SimDuration::from_secs(demand_s), 8 * 1024),
+    );
+    cfg.nodes = nodes;
+    cfg.trace.duration = SimDuration::from_secs(3600);
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn family_runs_conserve_and_terminate(
+        policy_idx in 0usize..4,
+        nodes in 4usize..12,
+        jobs in 1u32..16,
+        demand_s in 30u64..200,
+        seed in 0u64..1000,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut sim = ClusterSim::new(cfg(policy, nodes, jobs, demand_s, seed));
+        prop_assert!(sim.run(), "{policy} did not terminate");
+        // Conservation: delivered CPU equals total demand.
+        let demand = jobs as f64 * demand_s as f64;
+        prop_assert!((sim.foreign_cpu_delivered().as_secs_f64() - demand).abs() < 1e-6);
+        for j in sim.jobs() {
+            prop_assert_eq!(j.state, JobState::Done);
+            prop_assert_eq!(j.remaining, SimDuration::ZERO);
+            // Execution never precedes arrival; completion never precedes
+            // first start.
+            let fs = j.first_start.unwrap();
+            prop_assert!(fs >= j.spec.arrival);
+            prop_assert!(j.completed_at.unwrap() >= fs);
+            // Jobs never run faster than their demand.
+            prop_assert!(
+                j.execution_time().unwrap() >= SimDuration::from_secs(demand_s),
+                "{policy}: exec {:?} < demand", j.execution_time()
+            );
+            // Non-lingering policies never accrue linger time.
+            if !policy.lingers() {
+                prop_assert_eq!(j.breakdown.lingering, SimDuration::ZERO);
+            }
+            if policy != Policy::PauseAndMigrate {
+                prop_assert_eq!(j.breakdown.paused, SimDuration::ZERO);
+            }
+            if policy == Policy::LingerForever {
+                prop_assert_eq!(j.migrations, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_runs_hold_population(
+        policy_idx in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut c = cfg(policy, 6, 6, 60, seed);
+        c.mode = RunMode::Throughput { horizon: SimTime::from_secs(1200) };
+        let mut sim = ClusterSim::new(c);
+        sim.run();
+        let live = sim.jobs().iter().filter(|j| j.state != JobState::Done).count();
+        prop_assert_eq!(live, 6, "{} population drifted", policy);
+        // Delivered CPU is bounded by capacity.
+        prop_assert!(sim.foreign_cpu_delivered().as_secs_f64() <= 6.0 * 1200.0 + 1e-6);
+    }
+
+    #[test]
+    fn identical_seeds_are_identical_runs(
+        policy_idx in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let run = || {
+            let mut sim = ClusterSim::new(cfg(policy, 6, 8, 90, seed));
+            sim.run();
+            sim.jobs()
+                .iter()
+                .map(|j| (j.completed_at.unwrap().as_nanos(), j.migrations))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

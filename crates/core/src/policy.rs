@@ -1,0 +1,157 @@
+//! The four migration policies compared in the paper.
+//!
+//! * **Immediate-Eviction (IE)** — the classical social contract (Condor,
+//!   NOW): the foreign job is migrated the instant the machine turns
+//!   non-idle.
+//! * **Pause-and-Migrate (PM)** — the foreign job is suspended for a fixed
+//!   grace period first; if the machine becomes idle again within it, the
+//!   job resumes in place, otherwise it migrates.
+//! * **Linger-Longer (LL)** — the paper's contribution: the job keeps
+//!   running at starvation-priority through the non-idle episode, and only
+//!   migrates once the episode has lasted longer than the cost model's
+//!   linger duration ([`crate::cost`]).
+//! * **Linger-Forever (LF)** — lingers indefinitely; maximizes cluster
+//!   throughput at the cost of the response time of jobs stuck on busy
+//!   nodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A foreign-job scheduling policy (paper Sec 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Linger, migrating once the cost model says the episode is too long.
+    LingerLonger,
+    /// Linger and never migrate.
+    LingerForever,
+    /// Migrate as soon as the node becomes non-idle.
+    ImmediateEviction,
+    /// Suspend for a grace period, then migrate if still non-idle.
+    PauseAndMigrate,
+}
+
+impl Policy {
+    /// All four policies, in the paper's presentation order (Fig 7).
+    pub const ALL: [Policy; 4] = [
+        Policy::LingerLonger,
+        Policy::LingerForever,
+        Policy::ImmediateEviction,
+        Policy::PauseAndMigrate,
+    ];
+
+    /// The paper's abbreviation (LL, LF, IE, PM).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Policy::LingerLonger => "LL",
+            Policy::LingerForever => "LF",
+            Policy::ImmediateEviction => "IE",
+            Policy::PauseAndMigrate => "PM",
+        }
+    }
+
+    /// Does the foreign job keep computing while the node is non-idle?
+    pub fn lingers(self) -> bool {
+        matches!(self, Policy::LingerLonger | Policy::LingerForever)
+    }
+
+    /// Can the job ever migrate off a non-idle node under this policy?
+    pub fn migrates(self) -> bool {
+        !matches!(self, Policy::LingerForever)
+    }
+
+    /// May the cluster scheduler place a queued job on a *non-idle* node?
+    ///
+    /// This is the second half of lingering's advantage (Sec 4.2): LL/LF
+    /// "run jobs on any semi-available node", while IE/PM must wait for a
+    /// recruited machine.
+    pub fn places_on_non_idle(self) -> bool {
+        self.lingers()
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Policy::LingerLonger => "Linger-Longer",
+            Policy::LingerForever => "Linger-Forever",
+            Policy::ImmediateEviction => "Immediate-Eviction",
+            Policy::PauseAndMigrate => "Pause-and-Migrate",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error from parsing a policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy '{}'; expected LL, LF, IE or PM", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for Policy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "LL" | "LINGER-LONGER" | "LINGERLONGER" => Ok(Policy::LingerLonger),
+            "LF" | "LINGER-FOREVER" | "LINGERFOREVER" => Ok(Policy::LingerForever),
+            "IE" | "IMMEDIATE-EVICTION" | "IMMEDIATEEVICTION" => Ok(Policy::ImmediateEviction),
+            "PM" | "PAUSE-AND-MIGRATE" | "PAUSEANDMIGRATE" => Ok(Policy::PauseAndMigrate),
+            other => Err(ParsePolicyError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(Policy::LingerLonger.abbrev(), "LL");
+        assert_eq!(Policy::LingerForever.abbrev(), "LF");
+        assert_eq!(Policy::ImmediateEviction.abbrev(), "IE");
+        assert_eq!(Policy::PauseAndMigrate.abbrev(), "PM");
+    }
+
+    #[test]
+    fn behavior_flags() {
+        assert!(Policy::LingerLonger.lingers());
+        assert!(Policy::LingerForever.lingers());
+        assert!(!Policy::ImmediateEviction.lingers());
+        assert!(!Policy::PauseAndMigrate.lingers());
+
+        assert!(Policy::LingerLonger.migrates());
+        assert!(!Policy::LingerForever.migrates());
+        assert!(Policy::ImmediateEviction.migrates());
+        assert!(Policy::PauseAndMigrate.migrates());
+
+        assert!(Policy::LingerLonger.places_on_non_idle());
+        assert!(!Policy::ImmediateEviction.places_on_non_idle());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in Policy::ALL {
+            assert_eq!(p.abbrev().parse::<Policy>().unwrap(), p);
+            assert_eq!(p.to_string().parse::<Policy>().unwrap(), p);
+        }
+        assert_eq!(" ll ".parse::<Policy>().unwrap(), Policy::LingerLonger);
+        assert!("bogus".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn all_lists_each_once() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Policy::ALL {
+            assert!(seen.insert(p));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

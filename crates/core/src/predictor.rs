@@ -1,0 +1,369 @@
+//! Quality of the episode-length predictor behind the cost model.
+//!
+//! The linger duration rests on the median-remaining-life heuristic
+//! ("if a process has run for T units of time, we predict its total
+//! running time will be 2T", after Harchol-Balter & Downey and Leland &
+//! Ott). This module measures how well that heuristic-driven migration
+//! rule performs against alternatives, over different non-idle-episode
+//! length distributions:
+//!
+//! * **Pareto(α=1)** — the distribution for which the heuristic is exact
+//!   (and the empirical shape those papers measured);
+//! * **exponential** — memoryless: age carries no information at all;
+//! * **deterministic** — full information is available after the fact.
+//!
+//! For each drawn episode the decision rule produces a completion time
+//! for a fixed-demand job; the regret is measured against a clairvoyant
+//! oracle that knows the episode length up front.
+
+use crate::cost::linger_duration;
+use linger_sim_core::{domains, RngFactory, SimDuration};
+use linger_stats::{Distribution, Exponential, Pareto};
+use serde::{Deserialize, Serialize};
+
+/// How to pick the linger duration before migrating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LingerRule {
+    /// The paper's rule: `T_lingr = (1−l)/(h−l)·T_migr` from the
+    /// median-remaining-life prediction.
+    MedianRemainingLife,
+    /// Migrate the instant the node turns non-idle (IE's implicit rule).
+    Immediate,
+    /// Never migrate (LF's rule).
+    Never,
+    /// A fixed linger timeout in seconds.
+    Fixed(
+        /// Seconds to linger before migrating.
+        f64,
+    ),
+}
+
+impl LingerRule {
+    /// The linger duration this rule waits before migrating (`None` =
+    /// never migrates).
+    pub fn linger_secs(&self, h: f64, l: f64, t_migr: SimDuration) -> Option<f64> {
+        match self {
+            LingerRule::MedianRemainingLife => {
+                linger_duration(h, l, t_migr).map(|d| d.as_secs_f64())
+            }
+            LingerRule::Immediate => Some(0.0),
+            LingerRule::Never => None,
+            LingerRule::Fixed(s) => Some(*s),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            LingerRule::MedianRemainingLife => "median-remaining-life".into(),
+            LingerRule::Immediate => "immediate".into(),
+            LingerRule::Never => "never".into(),
+            LingerRule::Fixed(s) => format!("fixed {s:.0}s"),
+        }
+    }
+}
+
+/// The episode-length population to test against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EpisodeModel {
+    /// Pareto with the given scale (seconds) and shape.
+    Pareto {
+        /// Minimum episode length, seconds.
+        xm: f64,
+        /// Tail exponent (1.0 = the measured process-lifetime shape).
+        alpha: f64,
+    },
+    /// Exponential with the given mean (seconds).
+    Exponential {
+        /// Mean episode length, seconds.
+        mean: f64,
+    },
+    /// Every episode has the same length (seconds).
+    Deterministic {
+        /// The episode length, seconds.
+        secs: f64,
+    },
+}
+
+impl EpisodeModel {
+    fn draw(&self, rng: &mut linger_sim_core::SimRng) -> f64 {
+        match self {
+            EpisodeModel::Pareto { xm, alpha } => Pareto::new(*xm, *alpha).sample(rng),
+            EpisodeModel::Exponential { mean } => Exponential::with_mean(*mean).sample(rng),
+            EpisodeModel::Deterministic { secs } => *secs,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            EpisodeModel::Pareto { alpha, .. } => format!("pareto(a={alpha})"),
+            EpisodeModel::Exponential { mean } => format!("exp(mean={mean:.0}s)"),
+            EpisodeModel::Deterministic { secs } => format!("fixed {secs:.0}s"),
+        }
+    }
+}
+
+/// Completion time of a `work`-second foreign job that starts exactly
+/// when a non-idle episode of length `episode` begins, lingers for
+/// `lingr` (`None` = forever), and otherwise migrates to an `l`-loaded
+/// node at cost `t_migr`. All analytic — the fluid version of the Fig 1
+/// timing diagram.
+pub fn completion_secs(
+    work: f64,
+    episode: f64,
+    h: f64,
+    l: f64,
+    t_migr: f64,
+    lingr: Option<f64>,
+) -> f64 {
+    let rate_busy = 1.0 - h;
+    let rate_idle = 1.0 - l;
+    match lingr {
+        Some(tl) if tl < episode => {
+            // Linger tl, migrate, finish on the destination.
+            let done_while_lingering = rate_busy * tl;
+            let remaining = (work - done_while_lingering).max(0.0);
+            if remaining == 0.0 {
+                work / rate_busy
+            } else {
+                tl + t_migr + remaining / rate_idle
+            }
+        }
+        _ => {
+            // Stay put: earn rate_busy during the episode, rate_idle after.
+            let during = rate_busy * episode;
+            if work <= during {
+                work / rate_busy.max(1e-12)
+            } else {
+                episode + (work - during) / rate_idle
+            }
+        }
+    }
+}
+
+/// One row of the predictor study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictorRow {
+    /// Episode model label.
+    pub episodes: String,
+    /// Decision rule label.
+    pub rule: String,
+    /// Mean completion time of the test job, seconds.
+    pub mean_completion_secs: f64,
+    /// Mean regret versus the clairvoyant oracle (0 = optimal).
+    pub mean_regret: f64,
+    /// Fraction of episodes in which the rule migrated.
+    pub migration_fraction: f64,
+}
+
+/// The fixed scenario a predictor evaluation runs in.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Source (non-idle) node utilization.
+    pub h: f64,
+    /// Destination node utilization.
+    pub l: f64,
+    /// Migration cost.
+    pub t_migr: SimDuration,
+    /// The test job's CPU demand, seconds.
+    pub work: f64,
+}
+
+/// Evaluate `rules` against `episodes`, drawing `n` episodes in
+/// `scenario`.
+pub fn evaluate(
+    episodes: EpisodeModel,
+    rules: &[LingerRule],
+    scenario: Scenario,
+    n: usize,
+    seed: u64,
+) -> Vec<PredictorRow> {
+    let Scenario { h, l, t_migr, work } = scenario;
+    let mut rng = RngFactory::new(seed).stream_for(domains::JOBS, 0xC0DE);
+    let draws: Vec<f64> = (0..n).map(|_| episodes.draw(&mut rng)).collect();
+    let tm = t_migr.as_secs_f64();
+    rules
+        .iter()
+        .map(|rule| {
+            let lingr = rule.linger_secs(h, l, t_migr);
+            let mut total = 0.0;
+            let mut regret = 0.0;
+            let mut migrations = 0usize;
+            for &ep in &draws {
+                let t = completion_secs(work, ep, h, l, tm, lingr);
+                // Oracle: best of staying and migrating immediately.
+                let stay = completion_secs(work, ep, h, l, tm, None);
+                let go = completion_secs(work, ep, h, l, tm, Some(0.0));
+                let best = stay.min(go);
+                total += t;
+                regret += (t - best) / best;
+                if lingr.is_some_and(|tl| tl < ep) {
+                    migrations += 1;
+                }
+            }
+            PredictorRow {
+                episodes: episodes.label(),
+                rule: rule.label(),
+                mean_completion_secs: total / n as f64,
+                mean_regret: regret / n as f64,
+                migration_fraction: migrations as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// The standard comparison: the paper's rule against immediate, never,
+/// and two fixed timeouts, across the three episode models.
+pub fn predictor_study(seed: u64, n: usize) -> Vec<PredictorRow> {
+    let t_migr = crate::migration::MigrationCostModel::paper_default().cost(8 * 1024);
+    let rules = [
+        LingerRule::MedianRemainingLife,
+        LingerRule::Immediate,
+        LingerRule::Never,
+        LingerRule::Fixed(10.0),
+        LingerRule::Fixed(300.0),
+    ];
+    let models = [
+        EpisodeModel::Pareto { xm: 15.0, alpha: 1.0 },
+        EpisodeModel::Exponential { mean: 120.0 },
+        EpisodeModel::Deterministic { secs: 120.0 },
+    ];
+    let scenario = Scenario { h: 0.4, l: 0.02, t_migr, work: 600.0 };
+    let mut out = Vec::new();
+    for model in models {
+        out.extend(evaluate(model, &rules, scenario, n, seed));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: f64 = 0.4;
+    const L: f64 = 0.02;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            h: H,
+            l: L,
+            t_migr: crate::migration::MigrationCostModel::paper_default().cost(8 * 1024),
+            work: 600.0,
+        }
+    }
+
+    #[test]
+    fn completion_math_staying_vs_migrating() {
+        // Episode 100 s at h=0.5; 60 s of work; stay: 50 s done during
+        // the episode, the remaining 10 at rate 0.98 after it.
+        let stay = completion_secs(60.0, 100.0, 0.5, 0.02, 23.0, None);
+        assert!((stay - (100.0 + 10.0 / 0.98)).abs() < 1e-9);
+        // Migrate immediately: 23 + 60/0.98.
+        let go = completion_secs(60.0, 100.0, 0.5, 0.02, 23.0, Some(0.0));
+        assert!((go - (23.0 + 60.0 / 0.98)).abs() < 1e-9);
+        // Short episode: staying finishes during it if work fits… here it
+        // doesn't, but a tiny job does.
+        let tiny = completion_secs(5.0, 100.0, 0.5, 0.02, 23.0, None);
+        assert!((tiny - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lingering_then_migrating_combines_both() {
+        let t = completion_secs(60.0, 1000.0, 0.5, 0.0, 20.0, Some(40.0));
+        // 40 s lingering at 0.5 → 20 s done; migrate 20 s; 40 s left at
+        // rate 1.
+        assert!((t - (40.0 + 20.0 + 40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heuristic_is_near_optimal_on_pareto_lifetimes() {
+        // On the distribution whose conditional median the heuristic
+        // matches, its regret must be small — and much smaller than both
+        // extreme rules.
+        let rows = evaluate(
+            EpisodeModel::Pareto { xm: 15.0, alpha: 1.0 },
+            &[LingerRule::MedianRemainingLife, LingerRule::Immediate, LingerRule::Never],
+            scenario(),
+            20_000,
+            7,
+        );
+        let (ml, imm, never) = (&rows[0], &rows[1], &rows[2]);
+        assert!(ml.mean_regret < 0.08, "heuristic regret {}", ml.mean_regret);
+        assert!(
+            ml.mean_regret < imm.mean_regret,
+            "heuristic {} vs immediate {}",
+            ml.mean_regret,
+            imm.mean_regret
+        );
+        assert!(
+            ml.mean_regret < never.mean_regret,
+            "heuristic {} vs never {}",
+            ml.mean_regret,
+            never.mean_regret
+        );
+    }
+
+    #[test]
+    fn migration_fraction_reflects_rule() {
+        let rows = evaluate(
+            EpisodeModel::Pareto { xm: 15.0, alpha: 1.0 },
+            &[LingerRule::Immediate, LingerRule::Never],
+            scenario(),
+            5_000,
+            7,
+        );
+        assert_eq!(rows[0].migration_fraction, 1.0);
+        assert_eq!(rows[1].migration_fraction, 0.0);
+    }
+
+    #[test]
+    fn oracle_bound_holds_for_every_rule() {
+        for model in [
+            EpisodeModel::Pareto { xm: 15.0, alpha: 1.2 },
+            EpisodeModel::Exponential { mean: 90.0 },
+            EpisodeModel::Deterministic { secs: 200.0 },
+        ] {
+            for row in evaluate(
+                model,
+                &[
+                    LingerRule::MedianRemainingLife,
+                    LingerRule::Immediate,
+                    LingerRule::Never,
+                    LingerRule::Fixed(60.0),
+                ],
+                scenario(),
+                3_000,
+                9,
+            ) {
+                assert!(row.mean_regret >= -1e-9, "{}: regret {}", row.rule, row.mean_regret);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_episodes_reward_the_right_extreme() {
+        // With every episode exactly 120 s and a ~23 s migration, the
+        // break-even (1-l)/(h-l)·t_migr ≈ 59 s < 120 s: migrating is
+        // always right, staying always wrong.
+        let rows = evaluate(
+            EpisodeModel::Deterministic { secs: 120.0 },
+            &[LingerRule::Immediate, LingerRule::Never, LingerRule::MedianRemainingLife],
+            scenario(),
+            100,
+            3,
+        );
+        assert!(rows[0].mean_regret < 1e-9, "immediate is optimal here");
+        assert!(rows[1].mean_regret > rows[0].mean_regret);
+        // The heuristic lingers ~59 s then migrates: mild regret, far less
+        // than never-migrate.
+        assert!(rows[2].mean_regret < rows[1].mean_regret);
+    }
+
+    #[test]
+    fn study_produces_full_grid() {
+        let rows = predictor_study(1, 500);
+        assert_eq!(rows.len(), 3 * 5);
+        assert!(rows.iter().all(|r| r.mean_completion_secs > 0.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Communication patterns of the parallel job models.
+//!
+//! The synthetic BSP job uses a NEWS exchange ("a process exchange
+//! messages only with its neighbors in terms of data partitioning",
+//! paper Sec 5.1); the application models add an all-neighbor multicast
+//! (water's molecular force exchange) and a butterfly (fft).
+
+use serde::{Deserialize, Serialize};
+
+/// Message exchange structure of one communication phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommPattern {
+    /// 2-D torus neighbor exchange (North/East/West/South).
+    News,
+    /// Every process exchanges with every other (water-style).
+    AllToAll,
+    /// log₂(P) butterfly rounds (fft-style).
+    Butterfly,
+}
+
+impl CommPattern {
+    /// Number of dependent rounds in one communication phase.
+    pub fn rounds(self, procs: usize) -> usize {
+        match self {
+            CommPattern::News => 1,
+            CommPattern::AllToAll => 1,
+            CommPattern::Butterfly => {
+                debug_assert!(procs.is_power_of_two(), "butterfly needs a power of two");
+                procs.trailing_zeros() as usize
+            }
+        }
+    }
+
+    /// Messages each process sends (and receives) per round.
+    pub fn messages_per_round(self, procs: usize) -> usize {
+        match self {
+            CommPattern::News => grid_neighbors(procs),
+            CommPattern::AllToAll => procs.saturating_sub(1),
+            CommPattern::Butterfly => 1,
+        }
+    }
+
+    /// Total messages per process per communication phase.
+    pub fn messages_per_phase(self, procs: usize) -> usize {
+        self.rounds(procs) * self.messages_per_round(procs)
+    }
+}
+
+/// Neighbors in the most-square 2-D torus factorization of `procs`.
+fn grid_neighbors(procs: usize) -> usize {
+    if procs <= 1 {
+        return 0;
+    }
+    let (rows, cols) = grid_shape(procs);
+    // Torus wrap: up to 4 distinct neighbors, fewer on degenerate shapes.
+    let vertical = match rows {
+        1 => 0,
+        2 => 1,
+        _ => 2,
+    };
+    let horizontal = match cols {
+        1 => 0,
+        2 => 1,
+        _ => 2,
+    };
+    vertical + horizontal
+}
+
+/// Most-square factorization `rows × cols = procs` with `rows ≤ cols`.
+pub fn grid_shape(procs: usize) -> (usize, usize) {
+    let mut best = (1, procs);
+    let mut r = 1;
+    while r * r <= procs {
+        if procs.is_multiple_of(r) {
+            best = (r, procs / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(8), (2, 4));
+        assert_eq!(grid_shape(16), (4, 4));
+        assert_eq!(grid_shape(32), (4, 8));
+        assert_eq!(grid_shape(7), (1, 7));
+        assert_eq!(grid_shape(1), (1, 1));
+    }
+
+    #[test]
+    fn news_neighbor_counts() {
+        // 2×4 torus: 1 vertical + 2 horizontal = 3 distinct neighbors.
+        assert_eq!(CommPattern::News.messages_per_round(8), 3);
+        // 4×4 torus: full NEWS.
+        assert_eq!(CommPattern::News.messages_per_round(16), 4);
+        assert_eq!(CommPattern::News.messages_per_round(1), 0);
+        assert_eq!(CommPattern::News.rounds(8), 1);
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        assert_eq!(CommPattern::AllToAll.messages_per_round(8), 7);
+        assert_eq!(CommPattern::AllToAll.messages_per_phase(8), 7);
+    }
+
+    #[test]
+    fn butterfly_counts() {
+        assert_eq!(CommPattern::Butterfly.rounds(8), 3);
+        assert_eq!(CommPattern::Butterfly.rounds(32), 5);
+        assert_eq!(CommPattern::Butterfly.messages_per_phase(8), 3);
+    }
+}

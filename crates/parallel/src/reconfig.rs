@@ -1,0 +1,271 @@
+//! Lingering versus reconfiguration (paper Sec 5.1, Fig 11).
+//!
+//! The alternative to lingering on a partly-busy node is Acharya et al.'s
+//! *reconfiguration*: shrink the job to the available idle nodes — but
+//! "many applications are restricted to running on a power of two number
+//! of nodes", so reconfiguration wastes the idle nodes beyond the largest
+//! such count. "Linger-Longer with k nodes means if k or more idle nodes
+//! are available in the cluster, the parallel job runs k processes on k
+//! idle nodes, otherwise it runs on all idle nodes available and some
+//! non-idle nodes by lingering."
+//!
+//! Work conservation: the job has a fixed per-phase total; on `k`
+//! processes each executes `total/k` per phase, so halving the node count
+//! doubles the phase length. "We didn't consider the time required to
+//! reconfigure the application" — neither do we.
+
+use crate::bsp::{run_bsp, BspConfig};
+use crate::comm::CommPattern;
+use linger_sim_core::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A placement strategy for a malleable power-of-two parallel job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Run on the largest power-of-two set of idle nodes (≥ 1 node; with
+    /// zero idle nodes the job is forced onto one non-idle node).
+    Reconfiguration,
+    /// Linger-Longer with a fixed process count `k`.
+    LingerK(
+        /// Number of processes.
+        usize,
+    ),
+}
+
+impl Strategy {
+    /// Display label matching the paper's legend.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Reconfiguration => "reconfig".to_string(),
+            Strategy::LingerK(k) => format!("{k} nodes"),
+        }
+    }
+}
+
+/// The Fig 11 job shape on a cluster of `cluster` nodes: per-phase total
+/// work equal to `base_grain × cluster` (so a full-cluster run has
+/// `base_grain` phases — the paper's 500 ms average synchronization
+/// interval), NEWS exchange.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MalleableJob {
+    /// Cluster size (paper: 32).
+    pub cluster: usize,
+    /// Per-process compute per phase at full width.
+    pub base_grain: SimDuration,
+    /// Iterations.
+    pub phases: usize,
+    /// Local utilization of non-idle nodes (paper: 20%).
+    pub local_util: f64,
+    /// Communication pattern.
+    pub pattern: CommPattern,
+    /// Wire latency per round.
+    pub round_latency: SimDuration,
+    /// Handler CPU per message.
+    pub per_message_cpu: SimDuration,
+}
+
+impl MalleableJob {
+    /// The paper's Fig 11 configuration: 32-node cluster, 500 ms
+    /// synchronization, 20% local utilization on non-idle nodes.
+    pub fn fig11() -> Self {
+        MalleableJob {
+            cluster: 32,
+            base_grain: SimDuration::from_millis(500),
+            phases: 4,
+            local_util: 0.2,
+            pattern: CommPattern::News,
+            round_latency: SimDuration::from_millis(2),
+            per_message_cpu: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Completion time under `strategy` when `idle` of the cluster's
+    /// nodes are idle (the rest run local jobs at `local_util`).
+    pub fn completion(&self, strategy: Strategy, idle: usize, seed: u64) -> SimDuration {
+        assert!(idle <= self.cluster);
+        let (procs, non_idle_procs) = match strategy {
+            Strategy::Reconfiguration => {
+                if idle == 0 {
+                    (1, 1) // forced onto a busy node
+                } else {
+                    (largest_pow2_at_most(idle), 0)
+                }
+            }
+            Strategy::LingerK(k) => {
+                assert!(k.is_power_of_two() && k <= self.cluster);
+                (k, k.saturating_sub(idle))
+            }
+        };
+        // Work conservation: per-process grain scales with cluster/procs.
+        let grain = self.base_grain.mul_f64(self.cluster as f64 / procs as f64);
+        let cfg = BspConfig {
+            processes: procs,
+            compute_per_phase: grain,
+            phases: self.phases,
+            pattern: self.pattern,
+            round_latency: self.round_latency,
+            per_message_cpu: self.per_message_cpu,
+            context_switch: SimDuration::from_micros(100),
+        };
+        let mut utils = vec![0.0; procs];
+        for u in utils.iter_mut().take(non_idle_procs.min(procs)) {
+            *u = self.local_util;
+        }
+        run_bsp(&cfg, &utils, seed, idle as u64).completion
+    }
+
+    /// Mean completion time over `reps` independent replications (the
+    /// published curves are smooth; single runs of a max-over-processes
+    /// statistic are noisy).
+    pub fn completion_avg(
+        &self,
+        strategy: Strategy,
+        idle: usize,
+        seed: u64,
+        reps: u32,
+    ) -> SimDuration {
+        assert!(reps >= 1);
+        let total: f64 = (0..reps)
+            .map(|r| {
+                self.completion(strategy, idle, seed.wrapping_add(r as u64 * 0x9E37))
+                    .as_secs_f64()
+            })
+            .sum();
+        SimDuration::from_secs_f64(total / reps as f64)
+    }
+}
+
+/// Largest power of two ≤ `n` (n ≥ 1).
+pub fn largest_pow2_at_most(n: usize) -> usize {
+    assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// One point of the Fig 11 plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Point {
+    /// Idle nodes available.
+    pub idle: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Completion time, seconds.
+    pub completion_secs: f64,
+}
+
+/// The Fig 11 sweep: completion time vs. number of idle nodes for
+/// Linger-Longer with 8, 16, and 32 processes and for reconfiguration.
+pub fn fig11(seed: u64) -> Vec<Fig11Point> {
+    let job = MalleableJob::fig11();
+    let strategies = [
+        Strategy::LingerK(32),
+        Strategy::LingerK(16),
+        Strategy::LingerK(8),
+        Strategy::Reconfiguration,
+    ];
+    let mut out = Vec::new();
+    for s in strategies {
+        for idle in (0..=job.cluster).rev() {
+            out.push(Fig11Point {
+                idle,
+                strategy: s.label(),
+                completion_secs: job.completion_avg(s, idle, seed, 5).as_secs_f64(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_helper() {
+        assert_eq!(largest_pow2_at_most(1), 1);
+        assert_eq!(largest_pow2_at_most(2), 2);
+        assert_eq!(largest_pow2_at_most(3), 2);
+        assert_eq!(largest_pow2_at_most(16), 16);
+        assert_eq!(largest_pow2_at_most(31), 16);
+        assert_eq!(largest_pow2_at_most(32), 32);
+    }
+
+    fn job() -> MalleableJob {
+        MalleableJob { phases: 3, ..MalleableJob::fig11() }
+    }
+
+    #[test]
+    fn full_cluster_linger_is_fastest_when_all_idle() {
+        let j = job();
+        let t32 = j.completion(Strategy::LingerK(32), 32, 1);
+        let t16 = j.completion(Strategy::LingerK(16), 32, 1);
+        let t8 = j.completion(Strategy::LingerK(8), 32, 1);
+        assert!(t32 < t16 && t16 < t8, "{t32} {t16} {t8}");
+    }
+
+    #[test]
+    fn reconfig_steps_at_powers_of_two() {
+        let j = job();
+        let t31 = j.completion(Strategy::Reconfiguration, 31, 1);
+        let t16 = j.completion(Strategy::Reconfiguration, 16, 1);
+        let t15 = j.completion(Strategy::Reconfiguration, 15, 1);
+        // 31..16 idle nodes all reconfigure to 16 processes.
+        assert!((t31.as_secs_f64() - t16.as_secs_f64()).abs() < 0.05 * t16.as_secs_f64());
+        // 15 idle nodes drop to 8 processes: roughly double the time.
+        let ratio = t15.as_secs_f64() / t16.as_secs_f64();
+        assert!((1.6..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn linger32_beats_reconfig_with_few_non_idle() {
+        // Paper: "using 32 nodes and a Linger-Longer policy outperforms
+        // reconfiguration when 5 or fewer non-idle nodes are used."
+        let j = job();
+        for idle in [30usize, 29, 28] {
+            let ll = j.completion(Strategy::LingerK(32), idle, 2);
+            let rc = j.completion(Strategy::Reconfiguration, idle, 2);
+            assert!(
+                ll < rc,
+                "idle={idle}: LL-32 {:.2}s vs reconfig {:.2}s",
+                ll.as_secs_f64(),
+                rc.as_secs_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn linger16_beats_reconfig_in_mid_range() {
+        // Paper: "The Linger-Longer policy outperforms the
+        // reconfiguration, when either 8 or 16 nodes are used."
+        let j = job();
+        for idle in [20usize, 14, 10] {
+            let ll = j.completion(Strategy::LingerK(16), idle, 3);
+            let rc = j.completion(Strategy::Reconfiguration, idle, 3);
+            assert!(
+                ll.as_secs_f64() <= rc.as_secs_f64() * 1.05,
+                "idle={idle}: LL-16 {:.2}s vs reconfig {:.2}s",
+                ll.as_secs_f64(),
+                rc.as_secs_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn completion_rises_as_idle_nodes_disappear() {
+        // The barrier max saturates once many nodes are busy, so compare
+        // the all-idle case against the loaded ones and allow the two
+        // loaded points to tie within noise.
+        let j = job();
+        let t_allidle = j.completion(Strategy::LingerK(32), 32, 4).as_secs_f64();
+        let t_half = j.completion(Strategy::LingerK(32), 16, 4).as_secs_f64();
+        let t_none = j.completion(Strategy::LingerK(32), 0, 4).as_secs_f64();
+        assert!(t_allidle * 1.3 < t_half, "{t_allidle} vs {t_half}");
+        assert!(t_allidle * 1.3 < t_none, "{t_allidle} vs {t_none}");
+        assert!(t_none > t_half * 0.85, "saturation band: {t_half} vs {t_none}");
+    }
+
+    #[test]
+    fn fig11_produces_full_grid() {
+        let pts = fig11(1);
+        assert_eq!(pts.len(), 4 * 33);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests of the parallel-job simulator.
+
+use linger_parallel::{run_bsp, BspConfig, CommPattern};
+use linger_sim_core::SimDuration;
+use proptest::prelude::*;
+
+fn cfg(procs: usize, grain_ms: u64, phases: usize, pattern: CommPattern) -> BspConfig {
+    BspConfig {
+        processes: procs,
+        compute_per_phase: SimDuration::from_millis(grain_ms),
+        phases,
+        pattern,
+        round_latency: SimDuration::from_millis(1),
+        per_message_cpu: SimDuration::from_micros(200),
+        context_switch: SimDuration::from_micros(100),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn completion_bounded_below_by_dedicated_work(
+        procs_log in 1u32..=4,       // 2..16 processes
+        grain_ms in 10u64..=500,
+        phases in 2usize..=30,
+        busy in 0usize..=16,
+        util in 0.0f64..=0.9,
+        seed in 0u64..200,
+    ) {
+        let procs = 1usize << procs_log;
+        let pattern = CommPattern::News;
+        let c = cfg(procs, grain_ms, phases, pattern);
+        let mut utils = vec![0.0; procs];
+        for u in utils.iter_mut().take(busy.min(procs)) {
+            *u = util;
+        }
+        let r = run_bsp(&c, &utils, seed, 1);
+        // Never faster than the pure compute demand.
+        let floor = SimDuration::from_millis(grain_ms * phases as u64);
+        prop_assert!(r.completion >= floor, "{} < {}", r.completion, floor);
+        prop_assert!((0.0..=1.0).contains(&r.barrier_wait_fraction));
+    }
+
+    #[test]
+    fn adding_load_never_speeds_the_job_up(
+        grain_ms in 20u64..=300,
+        seed in 0u64..100,
+    ) {
+        let c = cfg(8, grain_ms, 12, CommPattern::News);
+        let idle = run_bsp(&c, &[0.0; 8], seed, 1).completion;
+        let mut utils = [0.0; 8];
+        utils[0] = 0.4;
+        let loaded = run_bsp(&c, &utils, seed, 1).completion;
+        prop_assert!(loaded >= idle, "loaded {loaded} < idle {idle}");
+    }
+
+    #[test]
+    fn butterfly_requires_and_respects_power_of_two(
+        procs_log in 0u32..=5,
+        seed in 0u64..50,
+    ) {
+        let procs = 1usize << procs_log;
+        let c = cfg(procs, 50, 4, CommPattern::Butterfly);
+        let r = run_bsp(&c, &vec![0.0; procs], seed, 1);
+        // log2(procs) dependency rounds of latency each phase.
+        let min_comm = if procs > 1 {
+            SimDuration::from_millis(procs_log as u64 * 4 * 1)
+        } else {
+            SimDuration::ZERO
+        };
+        prop_assert!(r.completion >= SimDuration::from_millis(200) + min_comm);
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        busy in 0usize..=8,
+        util in 0.05f64..=0.8,
+        seed in 0u64..100,
+    ) {
+        let c = cfg(8, 100, 10, CommPattern::News);
+        let mut utils = [0.0; 8];
+        for u in utils.iter_mut().take(busy) {
+            *u = util;
+        }
+        let a = run_bsp(&c, &utils, seed, 3).completion;
+        let b = run_bsp(&c, &utils, seed, 3).completion;
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,50 @@
+//! # linger-sim-core
+//!
+//! Deterministic discrete-event simulation substrate for the reproduction of
+//! *Linger Longer: Fine-Grain Cycle Stealing for Networks of Workstations*
+//! (Ryu & Hollingsworth, SC 1998).
+//!
+//! The paper evaluates its scheduling policy entirely by simulation; this
+//! crate provides the three primitives every simulator in the workspace is
+//! built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time;
+//! * [`EventQueue`] / [`Engine`] — a pending-event set with stable
+//!   tie-breaking and a generic event loop;
+//! * [`RngFactory`] — per-component deterministic random streams, enabling
+//!   common-random-number comparison of scheduling policies.
+//!
+//! ## Example
+//!
+//! ```
+//! use linger_sim_core::{Engine, Simulation, Context, SimTime, SimDuration};
+//!
+//! struct Pinger { pings: u32 }
+//! impl Simulation for Pinger {
+//!     type Event = ();
+//!     fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+//!         self.pings += 1;
+//!         if self.pings < 10 {
+//!             ctx.schedule_in(SimDuration::from_millis(100), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut eng = Engine::new(Pinger { pings: 0 });
+//! eng.prime(SimTime::ZERO, ());
+//! eng.run_to_completion();
+//! assert_eq!(eng.model().pings, 10);
+//! assert_eq!(eng.now(), SimTime::from_millis(900));
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod queue;
+mod rng;
+mod time;
+
+pub use engine::{Context, Engine, RunOutcome, Simulation};
+pub use queue::{EventHandle, EventQueue};
+pub use rng::{domains, RngFactory, SimRng, StreamId};
+pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

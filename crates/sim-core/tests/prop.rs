@@ -1,0 +1,104 @@
+//! Property tests of the simulation substrate.
+
+use linger_sim_core::{
+    Context, Engine, EventQueue, RngFactory, SimDuration, SimTime, Simulation,
+};
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    #[test]
+    fn queue_is_stable_for_equal_timestamps(
+        groups in prop::collection::vec((0u64..50, 1usize..6), 1..40),
+    ) {
+        // Events scheduled at the same instant pop in scheduling order.
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut serial = 0usize;
+        for (t, count) in groups {
+            for _ in 0..count {
+                q.schedule(SimTime::from_secs(t), serial);
+                expected.push((t, serial));
+                serial += 1;
+            }
+        }
+        expected.sort_by_key(|&(t, s)| (t, s));
+        let mut got = Vec::new();
+        while let Some((at, e)) = q.pop() {
+            got.push((at.as_nanos() / 1_000_000_000, e));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn engine_clock_never_regresses(
+        delays_ms in prop::collection::vec(0u64..5_000, 1..100),
+    ) {
+        struct Recorder {
+            delays: Vec<u64>,
+            next: usize,
+            times: Vec<SimTime>,
+        }
+        impl Simulation for Recorder {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                self.times.push(ctx.now());
+                if self.next < self.delays.len() {
+                    let d = self.delays[self.next];
+                    self.next += 1;
+                    ctx.schedule_in(SimDuration::from_millis(d), ());
+                }
+            }
+        }
+        let mut eng = Engine::new(Recorder { delays: delays_ms.clone(), next: 0, times: vec![] });
+        eng.prime(SimTime::ZERO, ());
+        eng.run_to_completion();
+        let times = &eng.model().times;
+        prop_assert_eq!(times.len(), delays_ms.len() + 1);
+        for w in times.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_independent_and_stable(
+        master in any::<u64>(),
+        dom_a in 0u32..16,
+        dom_b in 0u32..16,
+        idx_a in 0u64..1000,
+        idx_b in 0u64..1000,
+    ) {
+        let f = RngFactory::new(master);
+        let take = |d: u32, i: u64| -> Vec<u64> {
+            let mut r = f.stream_for(d, i);
+            (0..4).map(|_| r.random()).collect()
+        };
+        prop_assert_eq!(take(dom_a, idx_a), take(dom_a, idx_a));
+        if (dom_a, idx_a) != (dom_b, idx_b) {
+            prop_assert_ne!(take(dom_a, idx_a), take(dom_b, idx_b));
+        }
+    }
+
+    #[test]
+    fn horizon_runs_handle_any_cut_point(
+        horizon_ms in 0u64..10_000,
+    ) {
+        struct Ticker;
+        impl Simulation for Ticker {
+            type Event = u32;
+            fn handle(&mut self, e: u32, ctx: &mut Context<'_, u32>) {
+                if e < 200 {
+                    ctx.schedule_in(SimDuration::from_millis(100), e + 1);
+                }
+            }
+        }
+        let mut eng = Engine::new(Ticker);
+        eng.prime(SimTime::ZERO, 0);
+        eng.run_until(SimTime::from_millis(horizon_ms));
+        // Events fire every 100 ms from 0; clock ends at min(horizon, last).
+        prop_assert!(eng.now() <= SimTime::from_millis(horizon_ms.max(1)).max(SimTime::from_millis(20_000)));
+        let fired = eng.events_handled();
+        let expect = (horizon_ms / 100 + 1).min(201);
+        prop_assert_eq!(fired, expect);
+    }
+}

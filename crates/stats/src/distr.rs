@@ -1,0 +1,536 @@
+//! Continuous distributions used by the workload models.
+//!
+//! The paper models fine-grain CPU run/idle bursts with a 2-stage
+//! hyper-exponential distribution fitted by the method of moments
+//! (Sec 3.1, citing Trivedi p. 479). Burst populations with a squared
+//! coefficient of variation below 1 cannot be represented by a
+//! hyper-exponential, so the fitting layer (see [`crate::fit`]) falls back
+//! to an Erlang mixture; both families live here.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A continuous, non-negative distribution that can be sampled and
+/// evaluated.
+pub trait Distribution {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+    /// The distribution mean.
+    fn mean(&self) -> f64;
+    /// The distribution variance.
+    fn variance(&self) -> f64;
+    /// Cumulative distribution function at `x`.
+    fn cdf(&self, x: f64) -> f64;
+}
+
+/// Draw from Exp(rate) via inverse transform.
+#[inline]
+fn sample_exp<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    // `random::<f64>()` is uniform on [0, 1); use 1-u to avoid ln(0).
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// The exponential distribution with the given rate (1/mean).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Exponential with rate `rate` (> 0).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive: {rate}");
+        Exponential { rate }
+    }
+
+    /// Exponential with the given mean (> 0).
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive: {mean}");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        sample_exp(self.rate, rng)
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+}
+
+/// Two-stage hyper-exponential distribution: with probability `p1` the
+/// sample comes from Exp(`rate1`), otherwise from Exp(`rate2`).
+///
+/// This is the family the paper fits to run/idle burst histograms; its
+/// squared coefficient of variation is always ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperExp2 {
+    p1: f64,
+    rate1: f64,
+    rate2: f64,
+}
+
+impl HyperExp2 {
+    /// A two-branch hyper-exponential. `p1` must lie in [0, 1]; both rates
+    /// must be positive.
+    pub fn new(p1: f64, rate1: f64, rate2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p1), "p1 out of range: {p1}");
+        assert!(rate1 > 0.0 && rate1.is_finite(), "rate1 must be positive");
+        assert!(rate2 > 0.0 && rate2.is_finite(), "rate2 must be positive");
+        HyperExp2 { p1, rate1, rate2 }
+    }
+
+    /// Branch probability of stage 1.
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+    /// Rate of stage 1.
+    pub fn rate1(&self) -> f64 {
+        self.rate1
+    }
+    /// Rate of stage 2.
+    pub fn rate2(&self) -> f64 {
+        self.rate2
+    }
+}
+
+impl Distribution for HyperExp2 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        if u < self.p1 {
+            sample_exp(self.rate1, rng)
+        } else {
+            sample_exp(self.rate2, rng)
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.p1 / self.rate1 + (1.0 - self.p1) / self.rate2
+    }
+    fn variance(&self) -> f64 {
+        // E[X^2] = 2 p1/λ1² + 2 (1-p1)/λ2²
+        let ex2 = 2.0 * self.p1 / (self.rate1 * self.rate1)
+            + 2.0 * (1.0 - self.p1) / (self.rate2 * self.rate2);
+        let m = self.mean();
+        ex2 - m * m
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.p1 * (1.0 - (-self.rate1 * x).exp())
+                + (1.0 - self.p1) * (1.0 - (-self.rate2 * x).exp())
+        }
+    }
+}
+
+/// Erlang distribution: sum of `k` iid Exp(`rate`) stages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Erlang with `k` ≥ 1 stages of rate `rate` > 0.
+    pub fn new(k: u32, rate: f64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Erlang { k, rate }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> u32 {
+        self.k
+    }
+    /// Per-stage rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Erlang {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Product-of-uniforms form: one log instead of k.
+        let mut prod = 1.0f64;
+        for _ in 0..self.k {
+            let u: f64 = rng.random();
+            prod *= 1.0 - u;
+        }
+        -prod.ln() / self.rate
+    }
+    fn mean(&self) -> f64 {
+        self.k as f64 / self.rate
+    }
+    fn variance(&self) -> f64 {
+        self.k as f64 / (self.rate * self.rate)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        // P(X ≤ x) = 1 − e^{−λx} Σ_{n=0}^{k−1} (λx)^n / n!
+        let lx = self.rate * x;
+        let mut term = 1.0f64; // (λx)^0 / 0!
+        let mut sum = 1.0f64;
+        for n in 1..self.k {
+            term *= lx / n as f64;
+            sum += term;
+        }
+        1.0 - (-lx).exp() * sum
+    }
+}
+
+/// Point mass at a fixed value (used for deterministic phase lengths in the
+/// synthetic BSP workload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// A point mass at `value` ≥ 0.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0 && value.is_finite(), "value must be non-negative");
+        Deterministic { value }
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.value
+    }
+    fn mean(&self) -> f64 {
+        self.value
+    }
+    fn variance(&self) -> f64 {
+        0.0
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Pareto (power-law) distribution: `P(X > x) = (xm/x)^alpha` for
+/// `x ≥ xm`.
+///
+/// Process lifetimes are famously Pareto-like with `alpha ≈ 1`
+/// (Harchol-Balter & Downey; Leland & Ott) — the distribution for which
+/// the paper's median-remaining-life predictor ("a process that has run
+/// T will run 2T in total") is *exact*: the conditional median of `X`
+/// given `X > t` is `2^{1/alpha}·t`, which equals `2t` at `alpha = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Pareto with scale `xm > 0` and shape `alpha > 0`.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && xm.is_finite(), "xm must be positive");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        Pareto { xm, alpha }
+    }
+
+    /// Scale (minimum value).
+    pub fn xm(&self) -> f64 {
+        self.xm
+    }
+
+    /// Shape.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Median of the distribution.
+    pub fn median(&self) -> f64 {
+        self.xm * 2f64.powf(1.0 / self.alpha)
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        self.xm / (1.0 - u).powf(1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.alpha;
+            self.xm * self.xm * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.xm {
+            0.0
+        } else {
+            1.0 - (self.xm / x).powf(self.alpha)
+        }
+    }
+}
+
+/// Continuous uniform on [lo, hi).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Uniform on `[lo, hi)` with `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        UniformRange { lo, hi }
+    }
+}
+
+impl Distribution for UniformRange {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        self.lo + u * (self.hi - self.lo)
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12345)
+    }
+
+    fn sample_moments<D: Distribution>(d: &D, n: usize) -> (f64, f64) {
+        let mut r = rng();
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!(x >= 0.0, "negative sample {x}");
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        (mean, sum2 / n as f64 - mean * mean)
+    }
+
+    #[test]
+    fn exponential_moments_match() {
+        let d = Exponential::with_mean(0.25);
+        assert!((d.mean() - 0.25).abs() < 1e-12);
+        assert!((d.variance() - 0.0625).abs() < 1e-12);
+        let (m, v) = sample_moments(&d, 200_000);
+        assert!((m - 0.25).abs() < 0.005, "mean {m}");
+        assert!((v - 0.0625).abs() < 0.01, "var {v}");
+    }
+
+    #[test]
+    fn exponential_cdf() {
+        let d = Exponential::new(2.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(d.cdf(100.0) > 0.999_999);
+    }
+
+    #[test]
+    fn hyperexp_moments_match_analytic() {
+        let d = HyperExp2::new(0.3, 10.0, 1.0);
+        // mean = 0.3/10 + 0.7/1 = 0.73
+        assert!((d.mean() - 0.73).abs() < 1e-12);
+        let (m, v) = sample_moments(&d, 300_000);
+        assert!((m - d.mean()).abs() < 0.01, "mean {m} vs {}", d.mean());
+        assert!((v - d.variance()).abs() / d.variance() < 0.05, "var {v} vs {}", d.variance());
+    }
+
+    #[test]
+    fn hyperexp_cv2_at_least_one() {
+        for (p, r1, r2) in [(0.1, 5.0, 0.5), (0.5, 2.0, 2.0), (0.9, 100.0, 1.0)] {
+            let d = HyperExp2::new(p, r1, r2);
+            let cv2 = d.variance() / (d.mean() * d.mean());
+            assert!(cv2 >= 1.0 - 1e-9, "cv2 {cv2} < 1 for {p} {r1} {r2}");
+        }
+    }
+
+    #[test]
+    fn hyperexp_cdf_monotone_and_bounded() {
+        let d = HyperExp2::new(0.4, 8.0, 0.8);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 * 0.1;
+            let c = d.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn erlang_moments_and_cdf() {
+        let d = Erlang::new(4, 8.0);
+        assert!((d.mean() - 0.5).abs() < 1e-12);
+        assert!((d.variance() - 0.0625).abs() < 1e-12);
+        let (m, v) = sample_moments(&d, 200_000);
+        assert!((m - 0.5).abs() < 0.01);
+        assert!((v - 0.0625).abs() < 0.01);
+        // CDF at the mean of an Erlang(4) is ~0.566.
+        assert!((d.cdf(0.5) - 0.5665).abs() < 0.01, "cdf {}", d.cdf(0.5));
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn erlang_k1_equals_exponential() {
+        let e = Erlang::new(1, 3.0);
+        let x = Exponential::new(3.0);
+        for i in 1..20 {
+            let t = i as f64 * 0.05;
+            assert!((e.cdf(t) - x.cdf(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(2.5);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 2.5);
+        }
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.cdf(2.4), 0.0);
+        assert_eq!(d.cdf(2.5), 1.0);
+    }
+
+    #[test]
+    fn uniform_range() {
+        let d = UniformRange::new(1.0, 3.0);
+        assert_eq!(d.mean(), 2.0);
+        let (m, v) = sample_moments(&d, 100_000);
+        assert!((m - 2.0).abs() < 0.01);
+        assert!((v - 1.0 / 3.0).abs() < 0.01);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(2.0), 0.5);
+        assert_eq!(d.cdf(4.0), 1.0);
+    }
+
+    #[test]
+    fn pareto_median_and_cdf() {
+        let d = Pareto::new(1.0, 1.0);
+        assert_eq!(d.median(), 2.0);
+        assert!((d.cdf(2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert!(d.mean().is_infinite(), "alpha=1 has no mean");
+        let d2 = Pareto::new(2.0, 3.0);
+        assert!((d2.mean() - 3.0).abs() < 1e-12);
+        assert!((d2.variance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_sampling_respects_support_and_median() {
+        let d = Pareto::new(1.0, 1.0);
+        let mut r = rng();
+        let mut below_median = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!(x >= 1.0);
+            if x <= 2.0 {
+                below_median += 1;
+            }
+        }
+        let frac = below_median as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median frac {frac}");
+    }
+
+    #[test]
+    fn pareto_median_remaining_life_property() {
+        // At alpha = 1: median of X given X > t is exactly 2t.
+        let d = Pareto::new(1.0, 1.0);
+        let mut r = rng();
+        for t in [2.0f64, 5.0, 20.0] {
+            let mut survivors = Vec::new();
+            for _ in 0..400_000 {
+                let x = d.sample(&mut r);
+                if x > t {
+                    survivors.push(x);
+                }
+            }
+            survivors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let med = survivors[survivors.len() / 2];
+            assert!(
+                (med - 2.0 * t).abs() / (2.0 * t) < 0.05,
+                "median of survivors past {t} is {med}, expected {}",
+                2.0 * t
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn pareto_rejects_bad_shape() {
+        let _ = Pareto::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hyperexp_rejects_bad_p() {
+        let _ = HyperExp2::new(1.5, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn erlang_rejects_zero_stages() {
+        let _ = Erlang::new(0, 1.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Fine-grain run/idle burst generation.
+//!
+//! A [`BurstGenerator`] models the workstation owner's processor demand as
+//! an alternating renewal process of *run* bursts (some local process is
+//! runnable) and *idle* bursts (all local processes are blocked), exactly
+//! the model of paper Sec 3.1. Burst durations are drawn from the
+//! two-moment fits of the interpolated bucket parameters.
+
+use crate::params::{BucketParams, BurstParamTable};
+use linger_sim_core::{SimDuration, SimRng};
+use linger_stats::{fit_two_moments, Distribution, Fitted};
+use serde::{Deserialize, Serialize};
+
+/// Whether the workstation owner's processes are running or blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BurstKind {
+    /// Local (owner) processes occupy the CPU.
+    Run,
+    /// The CPU is idle as far as local processes are concerned.
+    Idle,
+}
+
+impl BurstKind {
+    /// The other kind.
+    pub fn flip(self) -> BurstKind {
+        match self {
+            BurstKind::Run => BurstKind::Idle,
+            BurstKind::Idle => BurstKind::Run,
+        }
+    }
+}
+
+/// One burst of local CPU demand (or absence thereof).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Run or idle.
+    pub kind: BurstKind,
+    /// Length of the burst.
+    pub duration: SimDuration,
+}
+
+/// Floor on generated burst durations.
+///
+/// The hyper-exponential fits put some mass arbitrarily close to zero;
+/// real dispatch records cannot be shorter than a few scheduler ticks.
+/// 10 µs keeps event counts bounded without visibly moving the moments.
+pub const MIN_BURST: SimDuration = SimDuration::from_micros(10);
+
+/// Generates the alternating run/idle burst sequence for one node.
+///
+/// The target utilization can be changed at any time (the two-level
+/// generator of Fig 6 updates it from the coarse trace every 2 seconds);
+/// the fitted distributions are rebuilt lazily on change.
+#[derive(Debug, Clone)]
+pub struct BurstGenerator {
+    table: BurstParamTable,
+    utilization: f64,
+    run_dist: Option<Fitted>,
+    idle_dist: Option<Fitted>,
+    next_kind: BurstKind,
+}
+
+impl BurstGenerator {
+    /// A generator over `table` starting at the given utilization.
+    ///
+    /// The first burst produced is an idle burst (a fresh node is between
+    /// owner demands); the sequence alternates thereafter.
+    pub fn new(table: BurstParamTable, utilization: f64) -> Self {
+        let mut g = BurstGenerator {
+            table,
+            utilization: -1.0,
+            run_dist: None,
+            idle_dist: None,
+            next_kind: BurstKind::Idle,
+        };
+        g.set_utilization(utilization);
+        g
+    }
+
+    /// Convenience: paper-calibrated table.
+    pub fn paper(utilization: f64) -> Self {
+        Self::new(BurstParamTable::paper_calibrated(), utilization)
+    }
+
+    /// Current target utilization.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Retarget the generator to a new utilization level (Fig 6's
+    /// "look up appropriate parameters based on the current coarse-grain
+    /// resource data").
+    pub fn set_utilization(&mut self, u: f64) {
+        let u = u.clamp(0.0, 1.0);
+        if (u - self.utilization).abs() < 1e-12 {
+            return;
+        }
+        self.utilization = u;
+        let p: BucketParams = self.table.interpolate(u);
+        self.run_dist = fit_or_none(p.run_mean, p.run_var);
+        self.idle_dist = fit_or_none(p.idle_mean, p.idle_var);
+    }
+
+    /// The kind of the next burst [`Self::next_burst`] will return.
+    pub fn peek_kind(&self) -> BurstKind {
+        self.effective_kind()
+    }
+
+    fn effective_kind(&self) -> BurstKind {
+        // Degenerate utilizations pin the process to one phase.
+        if self.run_dist.is_none() {
+            BurstKind::Idle
+        } else if self.idle_dist.is_none() {
+            BurstKind::Run
+        } else {
+            self.next_kind
+        }
+    }
+
+    /// Draw the next burst.
+    pub fn next_burst(&mut self, rng: &mut SimRng) -> Burst {
+        let kind = self.effective_kind();
+        let dist = match kind {
+            BurstKind::Run => self.run_dist.as_ref(),
+            BurstKind::Idle => self.idle_dist.as_ref(),
+        };
+        let secs = match dist {
+            Some(d) => d.sample(rng),
+            // Degenerate phase (u = 0 or u = 1): emit long fixed bursts so
+            // the simulation still advances in bounded steps.
+            None => 1.0,
+        };
+        self.next_kind = kind.flip();
+        Burst {
+            kind,
+            duration: SimDuration::from_secs_f64(secs).max(MIN_BURST),
+        }
+    }
+}
+
+fn fit_or_none(mean: f64, var: f64) -> Option<Fitted> {
+    if mean <= 0.0 {
+        None
+    } else {
+        Some(fit_two_moments(mean, var))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linger_sim_core::{domains, RngFactory};
+
+    fn rng() -> SimRng {
+        RngFactory::new(99).stream_for(domains::FINE_BURSTS, 0)
+    }
+
+    fn measure_utilization(u: f64, n: usize) -> f64 {
+        let mut g = BurstGenerator::paper(u);
+        let mut r = rng();
+        let mut run = 0.0;
+        let mut idle = 0.0;
+        for _ in 0..n {
+            let b = g.next_burst(&mut r);
+            match b.kind {
+                BurstKind::Run => run += b.duration.as_secs_f64(),
+                BurstKind::Idle => idle += b.duration.as_secs_f64(),
+            }
+        }
+        run / (run + idle)
+    }
+
+    #[test]
+    fn bursts_alternate() {
+        let mut g = BurstGenerator::paper(0.5);
+        let mut r = rng();
+        let mut prev = g.next_burst(&mut r).kind;
+        for _ in 0..100 {
+            let b = g.next_burst(&mut r);
+            assert_eq!(b.kind, prev.flip());
+            prev = b.kind;
+        }
+    }
+
+    #[test]
+    fn first_burst_is_idle() {
+        let mut g = BurstGenerator::paper(0.5);
+        assert_eq!(g.peek_kind(), BurstKind::Idle);
+        let b = g.next_burst(&mut rng());
+        assert_eq!(b.kind, BurstKind::Idle);
+    }
+
+    #[test]
+    fn long_run_utilization_matches_target() {
+        for target in [0.1, 0.2, 0.5, 0.8] {
+            let got = measure_utilization(target, 200_000);
+            assert!(
+                (got - target).abs() < 0.02,
+                "target {target}, measured {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_utilization_is_all_idle() {
+        let mut g = BurstGenerator::paper(0.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(g.next_burst(&mut r).kind, BurstKind::Idle);
+        }
+    }
+
+    #[test]
+    fn full_utilization_is_all_run() {
+        let mut g = BurstGenerator::paper(1.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(g.next_burst(&mut r).kind, BurstKind::Run);
+        }
+    }
+
+    #[test]
+    fn bursts_respect_minimum() {
+        let mut g = BurstGenerator::paper(0.05);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let b = g.next_burst(&mut r);
+            assert!(b.duration >= MIN_BURST);
+        }
+    }
+
+    #[test]
+    fn retargeting_changes_burst_scale() {
+        let mut r = rng();
+        let mut g = BurstGenerator::paper(0.1);
+        let mean_low: f64 = (0..20_000)
+            .map(|_| g.next_burst(&mut r))
+            .filter(|b| b.kind == BurstKind::Run)
+            .map(|b| b.duration.as_secs_f64())
+            .sum::<f64>()
+            / 10_000.0;
+        g.set_utilization(0.9);
+        let mean_high: f64 = (0..20_000)
+            .map(|_| g.next_burst(&mut r))
+            .filter(|b| b.kind == BurstKind::Run)
+            .map(|b| b.duration.as_secs_f64())
+            .sum::<f64>()
+            / 10_000.0;
+        assert!(
+            mean_high > 10.0 * mean_low,
+            "run bursts should lengthen with utilization: {mean_low} vs {mean_high}"
+        );
+    }
+
+    #[test]
+    fn degenerate_to_normal_transition() {
+        let mut g = BurstGenerator::paper(0.0);
+        let mut r = rng();
+        let _ = g.next_burst(&mut r);
+        g.set_utilization(0.5);
+        // Must now produce both kinds.
+        let kinds: std::collections::HashSet<_> =
+            (0..10).map(|_| g.next_burst(&mut r).kind).collect();
+        assert_eq!(kinds.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_same_stream() {
+        let mut g1 = BurstGenerator::paper(0.37);
+        let mut g2 = BurstGenerator::paper(0.37);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..1000 {
+            assert_eq!(g1.next_burst(&mut r1), g2.next_burst(&mut r2));
+        }
+    }
+}

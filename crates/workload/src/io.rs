@@ -1,0 +1,59 @@
+//! Trace persistence.
+//!
+//! Coarse traces and analysis outputs are serializable so benchmark runs
+//! can persist the exact workload realization they used (`results/`), and
+//! so external trace data in the same schema could be swapped in for the
+//! synthetic generator.
+
+use crate::coarse::CoarseTrace;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write a trace library as JSON.
+pub fn save_traces<P: AsRef<Path>>(path: P, traces: &[CoarseTrace]) -> std::io::Result<()> {
+    let f = File::create(path)?;
+    let mut w = BufWriter::new(f);
+    serde_json::to_writer(&mut w, traces)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    w.flush()
+}
+
+/// Read a trace library back.
+pub fn load_traces<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<CoarseTrace>> {
+    let f = File::open(path)?;
+    serde_json::from_reader(BufReader::new(f))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::CoarseTraceConfig;
+    use linger_sim_core::{RngFactory, SimDuration};
+
+    #[test]
+    fn roundtrip_preserves_traces() {
+        let cfg = CoarseTraceConfig {
+            duration: SimDuration::from_secs(120),
+            ..Default::default()
+        };
+        let traces = cfg.synthesize_library(&RngFactory::new(1), 3);
+        let dir = std::env::temp_dir().join("linger-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.json");
+        save_traces(&path, &traces).unwrap();
+        let back = load_traces(&path).unwrap();
+        assert_eq!(back.len(), traces.len());
+        for (a, b) in traces.iter().zip(&back) {
+            assert_eq!(a.samples(), b.samples());
+            assert_eq!(a.idle_flags(), b.idle_flags());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_traces("/nonexistent/traces.json").is_err());
+    }
+}

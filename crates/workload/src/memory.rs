@@ -1,0 +1,263 @@
+//! The two-pool priority memory model (paper Sec 3.2).
+//!
+//! "The idea is to divide memory into two pools: one for the local jobs
+//! and the other for foreign jobs. Whenever a page is placed on the
+//! free-list by a local job, the foreign job is able to use the page.
+//! Likewise, when the local job runs out of pages, it reclaims them from
+//! the foreign job prior to paging out any of its pages."
+//!
+//! [`TwoPoolMemory`] captures the policy at page granularity with the
+//! invariants that matter to the scheduler:
+//!
+//! 1. local demand is **always** satisfied before foreign residency —
+//!    local pages are never evicted on behalf of a foreign job;
+//! 2. the foreign job's resident set grows only into free memory;
+//! 3. when local demand grows, pages are reclaimed from the foreign job
+//!    first.
+//!
+//! The cluster simulator uses the derived admission check
+//! ([`TwoPoolMemory::fits`]) to gate job placement, and the reclaim
+//! counters feed the memory-pressure ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+/// Page size used to express the model in pages (4 KB, as in the paper's
+/// Linux prototype).
+pub const PAGE_KB: u32 = 4;
+
+/// Two-pool priority page allocation state for one node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoPoolMemory {
+    total_pages: u32,
+    local_pages: u32,
+    foreign_resident_pages: u32,
+    /// The foreign job's full working-set size; residency may be lower.
+    foreign_demand_pages: u32,
+    /// Cumulative pages reclaimed from the foreign pool by local growth.
+    reclaimed_pages: u64,
+    /// Cumulative local page-outs forced while no foreign pages remained
+    /// (i.e. pressure the local workload would have seen anyway).
+    local_pageouts: u64,
+}
+
+impl TwoPoolMemory {
+    /// A node with `total_kb` of physical memory and `local_kb` initially
+    /// used by the OS and local processes.
+    pub fn new(total_kb: u32, local_kb: u32) -> Self {
+        let total_pages = total_kb / PAGE_KB;
+        let local_pages = (local_kb / PAGE_KB).min(total_pages);
+        TwoPoolMemory {
+            total_pages,
+            local_pages,
+            foreign_resident_pages: 0,
+            foreign_demand_pages: 0,
+            reclaimed_pages: 0,
+            local_pageouts: 0,
+        }
+    }
+
+    /// Physical memory, KB.
+    pub fn total_kb(&self) -> u32 {
+        self.total_pages * PAGE_KB
+    }
+
+    /// Memory used by local jobs + OS, KB.
+    pub fn local_kb(&self) -> u32 {
+        self.local_pages * PAGE_KB
+    }
+
+    /// Foreign job resident size, KB.
+    pub fn foreign_resident_kb(&self) -> u32 {
+        self.foreign_resident_pages * PAGE_KB
+    }
+
+    /// Free memory (neither pool), KB.
+    pub fn free_kb(&self) -> u32 {
+        (self.total_pages - self.local_pages - self.foreign_resident_pages) * PAGE_KB
+    }
+
+    /// Pages reclaimed from the foreign pool so far.
+    pub fn reclaimed_pages(&self) -> u64 {
+        self.reclaimed_pages
+    }
+
+    /// Local page-outs that occurred with no foreign pages left to take.
+    pub fn local_pageouts(&self) -> u64 {
+        self.local_pageouts
+    }
+
+    /// Would a foreign job of `job_kb` fit entirely in currently-free
+    /// memory? This is the admission check the cluster scheduler applies
+    /// before placing or migrating a job onto a node.
+    pub fn fits(&self, job_kb: u32) -> bool {
+        job_kb <= self.free_kb()
+    }
+
+    /// Attach a foreign job with a working set of `job_kb`. Residency is
+    /// capped by free memory (invariant 2). Returns the resident KB.
+    pub fn attach_foreign(&mut self, job_kb: u32) -> u32 {
+        debug_assert_eq!(self.foreign_demand_pages, 0, "one foreign job per node");
+        let demand = job_kb.div_ceil(PAGE_KB);
+        self.foreign_demand_pages = demand;
+        let free = self.total_pages - self.local_pages;
+        self.foreign_resident_pages = demand.min(free);
+        self.foreign_resident_kb()
+    }
+
+    /// Detach the foreign job (eviction or completion), freeing its pool.
+    pub fn detach_foreign(&mut self) {
+        self.foreign_resident_pages = 0;
+        self.foreign_demand_pages = 0;
+    }
+
+    /// Fraction of the foreign job's demand that is resident (1.0 when
+    /// fully resident, less under local memory pressure).
+    pub fn foreign_residency(&self) -> f64 {
+        if self.foreign_demand_pages == 0 {
+            1.0
+        } else {
+            self.foreign_resident_pages as f64 / self.foreign_demand_pages as f64
+        }
+    }
+
+    /// Update local memory demand to `local_kb` (from the coarse trace).
+    ///
+    /// Growth reclaims foreign pages first (invariant 3), then counts
+    /// local page-outs if demand still exceeds physical memory. Shrink
+    /// releases pages to the free list, where the foreign job may re-grow
+    /// toward its demand (invariant 1 of the free-list rule).
+    pub fn set_local_kb(&mut self, local_kb: u32) {
+        let want = (local_kb / PAGE_KB).min(self.total_pages);
+        if want > self.local_pages {
+            let mut need = want - self.local_pages;
+            // Take free pages first.
+            let free = self.total_pages - self.local_pages - self.foreign_resident_pages;
+            let from_free = need.min(free);
+            need -= from_free;
+            // Then reclaim from the foreign pool.
+            let from_foreign = need.min(self.foreign_resident_pages);
+            self.foreign_resident_pages -= from_foreign;
+            self.reclaimed_pages += from_foreign as u64;
+            need -= from_foreign;
+            // Anything left would have paged out local memory regardless.
+            self.local_pageouts += need as u64;
+            self.local_pages = want;
+        } else {
+            self.local_pages = want;
+            // Freed pages flow to the foreign job up to its demand.
+            let free = self.total_pages - self.local_pages - self.foreign_resident_pages;
+            let regrow = (self.foreign_demand_pages - self.foreign_resident_pages).min(free);
+            self.foreign_resident_pages += regrow;
+        }
+        debug_assert!(
+            self.local_pages + self.foreign_resident_pages <= self.total_pages,
+            "pools exceed physical memory"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> TwoPoolMemory {
+        // 64 MB node, 30 MB local.
+        TwoPoolMemory::new(64 * 1024, 30 * 1024)
+    }
+
+    #[test]
+    fn initial_accounting() {
+        let m = mem();
+        assert_eq!(m.total_kb(), 64 * 1024);
+        assert_eq!(m.local_kb(), 30 * 1024);
+        assert_eq!(m.free_kb(), 34 * 1024);
+        assert_eq!(m.foreign_resident_kb(), 0);
+    }
+
+    #[test]
+    fn fits_respects_free_memory() {
+        let m = mem();
+        assert!(m.fits(8 * 1024));
+        assert!(m.fits(34 * 1024));
+        assert!(!m.fits(34 * 1024 + PAGE_KB));
+    }
+
+    #[test]
+    fn attach_caps_residency_at_free() {
+        let mut m = mem();
+        let resident = m.attach_foreign(40 * 1024);
+        assert_eq!(resident, 34 * 1024);
+        assert_eq!(m.free_kb(), 0);
+        assert!((m.foreign_residency() - 34.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_growth_reclaims_foreign_first() {
+        let mut m = mem();
+        m.attach_foreign(8 * 1024);
+        assert_eq!(m.free_kb(), 26 * 1024);
+        // Local grows by 30 MB: 26 MB from free, 4 MB reclaimed.
+        m.set_local_kb(60 * 1024);
+        assert_eq!(m.local_kb(), 60 * 1024);
+        assert_eq!(m.foreign_resident_kb(), 4 * 1024);
+        assert_eq!(m.reclaimed_pages(), (4 * 1024 / PAGE_KB) as u64);
+        assert_eq!(m.local_pageouts(), 0, "local never pages for foreign");
+    }
+
+    #[test]
+    fn local_pageouts_only_after_foreign_is_empty() {
+        let mut m = mem();
+        m.attach_foreign(8 * 1024);
+        m.set_local_kb(64 * 1024); // consumes everything
+        assert_eq!(m.foreign_resident_kb(), 0);
+        assert_eq!(m.local_pageouts(), 0); // exactly fits
+        m.set_local_kb(64 * 1024); // no-op
+        assert_eq!(m.local_pageouts(), 0);
+        // Demand beyond physical memory is clamped, not counted against
+        // the foreign job.
+        m.set_local_kb(80 * 1024);
+        assert_eq!(m.local_kb(), 64 * 1024);
+    }
+
+    #[test]
+    fn foreign_regrows_when_local_shrinks() {
+        let mut m = mem();
+        m.attach_foreign(8 * 1024);
+        m.set_local_kb(60 * 1024);
+        assert_eq!(m.foreign_resident_kb(), 4 * 1024);
+        m.set_local_kb(30 * 1024);
+        assert_eq!(m.foreign_resident_kb(), 8 * 1024, "free pages flow back");
+        assert_eq!(m.free_kb(), 26 * 1024);
+    }
+
+    #[test]
+    fn detach_restores_free_memory() {
+        let mut m = mem();
+        m.attach_foreign(8 * 1024);
+        m.detach_foreign();
+        assert_eq!(m.free_kb(), 34 * 1024);
+        assert_eq!(m.foreign_residency(), 1.0);
+    }
+
+    #[test]
+    fn pools_never_exceed_total() {
+        // Randomized local demand walk preserves the core invariant.
+        let mut m = mem();
+        m.attach_foreign(12 * 1024);
+        let mut x = 48_271u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let kb = (x >> 33) as u32 % (80 * 1024);
+            m.set_local_kb(kb);
+            assert!(m.local_kb() + m.foreign_resident_kb() <= m.total_kb());
+        }
+    }
+
+    #[test]
+    fn page_rounding() {
+        let mut m = TwoPoolMemory::new(100 * PAGE_KB, 10 * PAGE_KB);
+        // 5 KB demand rounds up to 2 pages.
+        let resident = m.attach_foreign(5);
+        assert_eq!(resident, 2 * PAGE_KB);
+    }
+}

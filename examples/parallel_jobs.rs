@@ -1,0 +1,72 @@
+//! Parallel-job scenario: should a data-parallel solver linger on busy
+//! workstations or shrink to the idle ones?
+//!
+//! Walks through the paper's Sec 5 machinery: synthetic BSP slowdown,
+//! the reconfiguration trade-off, and the application models.
+//!
+//! Run with: `cargo run --release --example parallel_jobs`
+
+use linger_parallel::{run_bsp, slowdown, App, BspConfig, MalleableJob, Strategy};
+use linger_sim_core::SimDuration;
+
+fn main() {
+    // -- How much does one busy workstation hurt a tight BSP job? ------
+    let cfg = BspConfig { phases: 120, ..BspConfig::fig9() };
+    println!("8-process BSP job, 100 ms phases, one workstation busy:");
+    for u in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut utils = vec![0.0; cfg.processes];
+        utils[0] = u;
+        println!(
+            "  owner at {:>2.0}% -> job slowdown {:>5.2}x",
+            u * 100.0,
+            slowdown(&cfg, &utils, 11)
+        );
+    }
+
+    // -- Coarser synchronization tolerates sharing better --------------
+    println!("\nsame job, 4 busy nodes at 20%, varying phase granularity:");
+    for g_ms in [10u64, 100, 1000] {
+        let cfg = BspConfig {
+            compute_per_phase: SimDuration::from_millis(g_ms),
+            phases: (12_000 / g_ms).max(4) as usize,
+            ..BspConfig::fig9()
+        };
+        let mut utils = vec![0.0; 8];
+        for u in utils.iter_mut().take(4) {
+            *u = 0.2;
+        }
+        println!("  {:>5} ms phases -> slowdown {:>4.2}x", g_ms, slowdown(&cfg, &utils, 13));
+    }
+
+    // -- Linger or reconfigure? ----------------------------------------
+    let job = MalleableJob::fig11();
+    println!("\n32-node cluster, 500 ms sync, busy nodes at 20% — completion times:");
+    println!("  idle |  LL-32 |  LL-16 | reconfig");
+    for idle in [32usize, 28, 24, 16, 8] {
+        let t32 = job.completion(Strategy::LingerK(32), idle, 17).as_secs_f64();
+        let t16 = job.completion(Strategy::LingerK(16), idle, 17).as_secs_f64();
+        let trc = job.completion(Strategy::Reconfiguration, idle, 17).as_secs_f64();
+        println!("  {idle:>4} | {t32:>5.2}s | {t16:>5.2}s | {trc:>7.2}s");
+    }
+    println!("(reconfiguration throws away idle nodes above a power of two;");
+    println!(" lingering rides them and only loses when many hosts are busy)");
+
+    // -- The three applications ------------------------------------------
+    println!("\napplication models on 8 nodes, 4 busy at 20%:");
+    for app in App::ALL {
+        let cfg = app.config(8, 8);
+        let ideal = run_bsp(&cfg, &[0.0; 8], 19, 0).completion.as_secs_f64();
+        let mut utils = vec![0.0; 8];
+        for u in utils.iter_mut().take(4) {
+            *u = 0.2;
+        }
+        let loaded = run_bsp(&cfg, &utils, 19, 1).completion.as_secs_f64();
+        println!(
+            "  {:<6} comm share {:>4.1}% -> slowdown {:.2}x",
+            app.name(),
+            app.comm_fraction(8) * 100.0,
+            loaded / ideal
+        );
+    }
+    println!("(the more an app waits on the network, the less the owner's CPU matters)");
+}

@@ -1,0 +1,15 @@
+//! `lingersim` — command-line front door to the Linger-Longer simulators.
+//! See `lingersim` with no arguments for usage.
+
+use linger_repro::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args).and_then(|c| cli::run(&c)) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("lingersim: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # linger-repro
+//!
+//! Workspace root of the reproduction of *Linger Longer: Fine-Grain
+//! Cycle Stealing for Networks of Workstations* (Ryu & Hollingsworth,
+//! SC 1998). This crate hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library surface simply
+//! re-exports the member crates.
+//!
+//! See `README.md` for the guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub mod cli;
+
+pub use linger;
+pub use linger_cluster as cluster;
+pub use linger_node as node;
+pub use linger_parallel as parallel;
+pub use linger_sim_core as sim_core;
+pub use linger_stats as stats;
+pub use linger_workload as workload;
