@@ -2,7 +2,10 @@
 //! `results/`, and print a paper-versus-measured scorecard.
 //!
 //! `--fast` scales every experiment down for a quick smoke run;
-//! `--seed <n>` selects the master seed (default 1998).
+//! `--seed <n>` selects the master seed (default 1998); `--jobs <n>`
+//! sets the parallel runner's worker count (0 = one per core; results
+//! are byte-identical at any value). Per-figure wall-clock lands in
+//! `BENCH_runall.json` next to the working directory.
 
 use linger_bench::output::{note_artifact, HarnessArgs};
 use linger_bench::*;
@@ -18,9 +21,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let t0 = std::time::Instant::now();
     let mut checks: Vec<Check> = Vec::new();
+    let mut timings = RunTimings::new(args.jobs, args.seed, args.fast);
 
     println!("running Fig 2 …");
-    let f2 = fig02(args.seed, args.fast);
+    let f2 = timings.time("fig02", || fig02(args.seed, args.fast));
     note_artifact("fig02", write_json("fig02", &f2));
     let ks_worst = f2.iter().map(|b| b.ks_run.max(b.ks_idle)).fold(0.0f64, f64::max);
     checks.push(Check {
@@ -31,7 +35,7 @@ fn main() {
     });
 
     println!("running Fig 3 …");
-    let f3 = fig03(args.seed, args.fast);
+    let f3 = timings.time("fig03", || fig03(args.seed, args.fast));
     note_artifact("fig03", write_json("fig03", &f3));
     let mid_err = f3
         .iter()
@@ -46,7 +50,7 @@ fn main() {
     });
 
     println!("running Fig 4 …");
-    let f4 = fig04(args.seed, args.fast);
+    let f4 = timings.time("fig04", || fig04(args.seed, args.fast));
     note_artifact("fig04", write_json("fig04", &f4));
     checks.push(Check {
         name: "Fig 4 / Sec 3.2: idleness + memory anchors",
@@ -63,7 +67,7 @@ fn main() {
     });
 
     println!("running Fig 5 …");
-    let f5 = fig05(args.seed, args.fast);
+    let f5 = timings.time("fig05", || fig05(args.seed, args.fast));
     note_artifact("fig05", write_json("fig05", &f5));
     let peak_100 = f5[..9].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
     let peak_500 = f5[18..].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
@@ -81,7 +85,7 @@ fn main() {
     });
 
     println!("running Fig 6 …");
-    let f6 = fig06(args.seed, args.fast);
+    let f6 = timings.time("fig06", || fig06(args.seed, args.fast));
     note_artifact("fig06", write_json("fig06", &f6));
     checks.push(Check {
         name: "Fig 6: two-level pipeline coherence",
@@ -91,7 +95,7 @@ fn main() {
     });
 
     println!("running Figs 7+8 (cluster; this is the long one) …");
-    let f7 = fig07(args.seed, args.fast);
+    let f7 = timings.time("fig07", || fig07(args.seed, args.fast));
     note_artifact("fig07", write_json("fig07", &f7));
     let (ll, lf, ie, pm) = (&f7.workload1[0], &f7.workload1[1], &f7.workload1[2], &f7.workload1[3]);
     checks.push(Check {
@@ -146,7 +150,7 @@ fn main() {
     });
 
     println!("running Fig 9 …");
-    let f9 = fig09(args.seed, args.fast);
+    let f9 = timings.time("fig09", || fig09(args.seed, args.fast));
     note_artifact("fig09", write_json("fig09", &f9));
     let low_ok = f9[1..=4].iter().all(|p| p.slowdown < 2.0);
     checks.push(Check {
@@ -160,7 +164,7 @@ fn main() {
     });
 
     println!("running Fig 10 …");
-    let f10 = fig10(args.seed, args.fast);
+    let f10 = timings.time("fig10", || fig10(args.seed, args.fast));
     note_artifact("fig10", write_json("fig10", &f10));
     let fine = f10.iter().find(|p| p.granularity_ms == 10 && p.non_idle == 4).unwrap().slowdown;
     let coarse = f10
@@ -176,7 +180,7 @@ fn main() {
     });
 
     println!("running Fig 11 …");
-    let f11 = fig11(args.seed);
+    let f11 = timings.time("fig11", || fig11(args.seed));
     note_artifact("fig11", write_json("fig11", &f11));
     let ll16_beats = [20usize, 14, 10].iter().all(|&i| {
         let ll = f11.iter().find(|p| p.idle == i && p.strategy == "16 nodes").unwrap();
@@ -191,7 +195,7 @@ fn main() {
     });
 
     println!("running Fig 12 …");
-    let f12 = fig12(args.seed);
+    let f12 = timings.time("fig12", || fig12(args.seed));
     note_artifact("fig12", write_json("fig12", &f12));
     let pick = |app: &str, k: usize, u: f64| {
         f12.iter()
@@ -220,7 +224,7 @@ fn main() {
     });
 
     println!("running Fig 13 …");
-    let f13 = fig13(args.seed);
+    let f13 = timings.time("fig13", || fig13(args.seed));
     note_artifact("fig13", write_json("fig13", &f13));
     let ll16_wins = ["sor", "water", "fft"].iter().all(|&app| {
         [15usize, 13, 12].iter().all(|&i| {
@@ -243,7 +247,7 @@ fn main() {
     });
 
     println!("running extensions (hybrid, throughput, predictor) …");
-    let eh = ext_hybrid(args.seed);
+    let eh = timings.time("ext_hybrid", || ext_hybrid(args.seed));
     note_artifact("ext_hybrid", write_json("ext_hybrid", &eh));
     let worst_regret = eh
         .iter()
@@ -255,7 +259,7 @@ fn main() {
         measured: format!("worst regret {:.1}%", (worst_regret - 1.0) * 100.0),
         ok: worst_regret < 1.25,
     });
-    let et = ext_parallel_throughput(args.seed, args.fast);
+    let et = timings.time("ext_throughput", || ext_parallel_throughput(args.seed, args.fast));
     note_artifact("ext_throughput", write_json("ext_throughput", &et));
     let heavy = &et[0];
     checks.push(Check {
@@ -267,7 +271,7 @@ fn main() {
         ),
         ok: heavy.linger.jobs_per_hour > 1.2 * heavy.rigid.jobs_per_hour,
     });
-    let ep = linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 });
+    let ep = timings.time("ext_predictor", || linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 }));
     note_artifact("ext_predictor", write_json("ext_predictor", &ep));
     let pareto_best = ep
         .iter()
@@ -302,4 +306,8 @@ fn main() {
         args.seed,
         if args.fast { " (fast mode)" } else { "" }
     );
+    match timings.write("BENCH_runall.json") {
+        Ok(()) => println!("[wrote BENCH_runall.json]"),
+        Err(e) => eprintln!("[warn: could not write BENCH_runall.json: {e}]"),
+    }
 }

@@ -106,11 +106,11 @@ impl AsciiChart {
         out.push('+');
         out.push_str(&"-".repeat(self.width));
         out.push('\n');
+        let left = format!("{x_lo:.0} ");
+        let right = format!("{x_hi:.0}  ({})", self.x_label);
         out.push_str(&format!(
-            "{:>9}{:<width$}{}\n",
-            format!("{x_lo:.0} "),
+            "{left:>9}{:<width$}{right}\n",
             "",
-            format!("{x_hi:.0}  ({})", self.x_label),
             width = self.width.saturating_sub(12)
         ));
         out

@@ -8,7 +8,7 @@
 use linger::{JobFamily, Policy};
 use linger_cluster::{policy_comparison, PolicyMetrics};
 use linger_node::{fig5_paper_grid, SingleNodeReport};
-use linger_sim_core::{domains, RngFactory, SimDuration, SimTime};
+use linger_sim_core::{domains, par_map_indexed, RngFactory, SimDuration, SimTime};
 use linger_stats::Distribution;
 use linger_workload::{
     analysis::{CoarseAggregates, FineGrainAnalysis},
@@ -39,8 +39,10 @@ pub struct Fig2Bucket {
 pub fn fig02(seed: u64, fast: bool) -> Vec<Fig2Bucket> {
     let minutes = if fast { 5 } else { 40 };
     let factory = RngFactory::new(seed);
-    let mut out = Vec::new();
-    for (id, pct) in [(0u64, 10u32), (1, 50)] {
+    // The two buckets are independent analyses; fan out, output in order.
+    let buckets = [(0u64, 10u32), (1, 50)];
+    par_map_indexed(buckets.len(), None, |k| {
+        let (id, pct) = buckets[k];
         let trace = DispatchTrace::synthesize_fixed(
             &factory,
             id,
@@ -61,15 +63,14 @@ pub fn fig02(seed: u64, fast: bool) -> Vec<Fig2Bucket> {
             xs.iter().map(|&x| (x, run_ecdf.eval(x), run_fit.cdf(x))).collect();
         let idle_points =
             xs.iter().map(|&x| (x, idle_ecdf.eval(x), idle_fit.cdf(x))).collect();
-        out.push(Fig2Bucket {
+        Fig2Bucket {
             level_pct: pct,
             run_points,
             idle_points,
             ks_run: run_ecdf.ks_distance(|x| run_fit.cdf(x)),
             ks_idle: idle_ecdf.ks_distance(|x| idle_fit.cdf(x)),
-        });
-    }
-    out
+        }
+    })
 }
 
 // ---------------------------------------------------------------- fig 3
@@ -102,16 +103,20 @@ pub fn fig03(seed: u64, fast: bool) -> Vec<Fig3Row> {
     let minutes: u64 = if fast { 3 } else { 20 };
     let mut an = FineGrainAnalysis::new(false);
     // One fixed-level trace per bucket (the paper's "several twenty-minute
-    // intervals … at various level of utilization").
-    for i in 1..20u64 {
-        let u = i as f64 * 0.05;
-        let trace = DispatchTrace::synthesize_fixed(
+    // intervals … at various level of utilization"). Each trace's stream
+    // is keyed by its bucket id, so synthesis fans out; ingestion stays
+    // serial in bucket order to keep the accumulators byte-identical.
+    let traces = par_map_indexed(19, None, |j| {
+        let i = j as u64 + 1;
+        DispatchTrace::synthesize_fixed(
             &factory,
             i,
-            u,
+            i as f64 * 0.05,
             SimDuration::from_secs(minutes * 60),
-        );
-        an.ingest(&trace);
+        )
+    });
+    for trace in &traces {
+        an.ingest(trace);
     }
     let measured = an.to_param_table();
     let model = BurstParamTable::paper_calibrated();

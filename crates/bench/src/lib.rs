@@ -13,7 +13,9 @@
 pub mod chart;
 pub mod experiments;
 pub mod output;
+pub mod runner;
 
 pub use chart::AsciiChart;
 pub use experiments::*;
 pub use output::{write_json, Table};
+pub use runner::{RunTimings, Runner, SectionTiming};

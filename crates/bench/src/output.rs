@@ -84,8 +84,10 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
 /// Parse harness CLI flags shared by every figure binary.
 ///
 /// Supported: `--seed <n>` (default 1998), `--fast` (scaled-down run for
-/// smoke testing), and `--reps <n>` (replications with confidence
-/// intervals, where the binary supports it).
+/// smoke testing), `--reps <n>` (replications with confidence intervals,
+/// where the binary supports it), and `--jobs <n>` (worker threads for
+/// the deterministic parallel runner; 0 = one per core; output is
+/// byte-identical at any value).
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessArgs {
     /// Master seed.
@@ -94,14 +96,17 @@ pub struct HarnessArgs {
     pub fast: bool,
     /// Replication count for binaries that support error bars.
     pub reps: u32,
+    /// Worker threads (0 = one per core).
+    pub jobs: usize,
 }
 
 impl HarnessArgs {
-    /// Parse from `std::env::args`.
+    /// Parse from `std::env::args` and apply `--jobs` process-wide.
     pub fn parse() -> Self {
         let mut seed = 1998u64;
         let mut fast = false;
         let mut reps = 1u32;
+        let mut jobs = 0usize;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -117,13 +122,23 @@ impl HarnessArgs {
                         .and_then(|v| v.parse().ok())
                         .expect("--reps requires an integer");
                 }
+                "--jobs" => {
+                    jobs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs requires an integer (0 = auto)");
+                }
                 "--fast" => fast = true,
                 other => {
-                    panic!("unknown argument '{other}' (expected --seed <n> | --reps <n> | --fast)")
+                    panic!(
+                        "unknown argument '{other}' \
+                         (expected --seed <n> | --reps <n> | --jobs <n> | --fast)"
+                    )
                 }
             }
         }
-        HarnessArgs { seed, fast, reps }
+        linger_sim_core::set_default_jobs(jobs);
+        HarnessArgs { seed, fast, reps, jobs }
     }
 }
 

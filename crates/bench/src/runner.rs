@@ -1,0 +1,142 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Experiments in this workspace decompose into *units* — replications,
+//! policy variants, sweep points — that share no state and draw all their
+//! randomness from seeds derived at construction time. The runner fans
+//! those units across scoped worker threads while guaranteeing that the
+//! output is **byte-identical to a serial run at any thread count**:
+//!
+//! * seeds are a pure function of the unit's logical index (never of the
+//!   thread that happens to execute it);
+//! * results land in index-ordered slots, so downstream aggregation and
+//!   JSON emission see them in the same order a `for` loop would produce.
+//!
+//! The heavy lifting lives in [`linger_sim_core::par_map_indexed`]; this
+//! module adds the harness-level vocabulary (replication seeding, timed
+//! sections for `BENCH_runall.json`).
+
+use linger_sim_core::par_map_indexed;
+use serde::Serialize;
+
+/// A deterministic fan-out executor for independent experiment units.
+///
+/// `Runner::default()` inherits the process-wide job count (set by
+/// `--jobs` via [`linger_sim_core::set_default_jobs`]); [`Runner::with_jobs`]
+/// pins an explicit worker count for this runner only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Runner {
+    jobs: Option<usize>,
+}
+
+impl Runner {
+    /// A runner using the process-wide default job count.
+    pub fn new() -> Self {
+        Runner::default()
+    }
+
+    /// A runner pinned to exactly `jobs` worker threads (1 = serial).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Runner { jobs: Some(jobs.max(1)) }
+    }
+
+    /// Run `n` independent units, returning results in index order.
+    ///
+    /// `f` must derive everything (seeds included) from its index
+    /// argument; the runner makes no other determinism guarantee.
+    pub fn run<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        par_map_indexed(n, self.jobs, f)
+    }
+
+    /// Run `reps` replications whose seeds are `base_seed + index` — the
+    /// exact sequence a serial `for r in 0..reps` loop would use, so
+    /// common-random-number pairing across policies survives fan-out.
+    pub fn replicate<U, F>(&self, base_seed: u64, reps: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(u64) -> U + Sync,
+    {
+        self.run(reps, |r| f(base_seed + r as u64))
+    }
+}
+
+/// Wall-clock timing of one named section (one figure in `run_all`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SectionTiming {
+    /// Section name (e.g. `"fig05"`).
+    pub name: String,
+    /// Elapsed wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Per-figure wall-clock ledger behind `BENCH_runall.json`.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct RunTimings {
+    /// Worker threads in use (0 = auto-detected).
+    pub jobs: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Whether the run used `--fast` scaling.
+    pub fast: bool,
+    /// Per-section wall-clock, in execution order.
+    pub sections: Vec<SectionTiming>,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+}
+
+impl RunTimings {
+    /// An empty ledger annotated with the run's configuration.
+    pub fn new(jobs: usize, seed: u64, fast: bool) -> Self {
+        RunTimings { jobs, seed, fast, ..Default::default() }
+    }
+
+    /// Run `f`, record its wall-clock under `name`, and return its value.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        let secs = t0.elapsed().as_secs_f64();
+        self.sections.push(SectionTiming { name: name.to_string(), secs });
+        self.total_secs += secs;
+        out
+    }
+
+    /// Write the ledger as pretty JSON to `path` (best effort).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer_pretty(std::io::BufWriter::new(file), self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_index_order_at_any_width() {
+        let serial: Vec<usize> = Runner::with_jobs(1).run(100, |i| i * i);
+        for jobs in [2, 4, 7] {
+            assert_eq!(Runner::with_jobs(jobs).run(100, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn replicate_seeds_follow_the_serial_sequence() {
+        let seeds = Runner::with_jobs(4).replicate(1998, 8, |s| s);
+        assert_eq!(seeds, (1998..2006).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let mut t = RunTimings::new(1, 7, true);
+        let v = t.time("a", || 42);
+        assert_eq!(v, 42);
+        t.time("b", || ());
+        assert_eq!(t.sections.len(), 2);
+        assert_eq!(t.sections[0].name, "a");
+        assert!((t.total_secs - t.sections.iter().map(|s| s.secs).sum::<f64>()).abs() < 1e-12);
+    }
+}

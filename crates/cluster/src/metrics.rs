@@ -16,7 +16,7 @@ use crate::config::ClusterConfig;
 use crate::sim::ClusterSim;
 use crate::state::StateBreakdown;
 use linger::{JobFamily, Policy};
-use linger_sim_core::SimTime;
+use linger_sim_core::{par_map_indexed, SimTime};
 use linger_stats::Online;
 
 use serde::{Deserialize, Serialize};
@@ -134,11 +134,14 @@ pub fn evaluate_policy(policy: Policy, family: JobFamily, nodes: usize, seed: u6
 /// policies on identical workload realizations (common random numbers —
 /// every policy sees the same traces and offsets because they derive from
 /// the same master seed).
+///
+/// The four policy runs are independent simulations and fan out across
+/// worker threads; results come back in `Policy::ALL` order regardless
+/// of thread count.
 pub fn policy_comparison(family: JobFamily, nodes: usize, seed: u64) -> Vec<PolicyMetrics> {
-    Policy::ALL
-        .iter()
-        .map(|&p| evaluate_policy(p, family.clone(), nodes, seed))
-        .collect()
+    par_map_indexed(Policy::ALL.len(), None, |i| {
+        evaluate_policy(Policy::ALL[i], family.clone(), nodes, seed)
+    })
 }
 
 #[cfg(test)]
@@ -291,6 +294,11 @@ pub struct ReplicatedMetrics {
 /// Replication `r` uses seed `base_seed + r`, identical across policies
 /// (common random numbers), so policy *differences* are tighter than the
 /// marginal intervals suggest.
+///
+/// Replications are independent and fan out across worker threads; the
+/// seed of replication `r` depends only on `r`, so the aggregate is
+/// byte-identical at any thread count (accumulation happens afterwards,
+/// in replication order).
 pub fn evaluate_policy_replicated(
     policy: Policy,
     family: JobFamily,
@@ -299,12 +307,14 @@ pub fn evaluate_policy_replicated(
     reps: u32,
 ) -> ReplicatedMetrics {
     assert!(reps >= 2, "need at least two replications for an interval");
+    let runs = par_map_indexed(reps as usize, None, |r| {
+        evaluate_policy(policy, family.clone(), nodes, base_seed + r as u64)
+    });
     let mut avg = Online::new();
     let mut tput = Online::new();
     let mut fam = Online::new();
     let mut delay = Online::new();
-    for r in 0..reps {
-        let m = evaluate_policy(policy, family.clone(), nodes, base_seed + r as u64);
+    for m in &runs {
         avg.add(m.avg_completion_secs);
         tput.add(m.throughput);
         fam.add(m.family_time_secs);

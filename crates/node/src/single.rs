@@ -8,7 +8,7 @@
 
 use crate::executor::FineGrainCpu;
 use crate::source::FixedUtilization;
-use linger_sim_core::{domains, RngFactory, SimDuration};
+use linger_sim_core::{domains, par_map_indexed, RngFactory, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one single-node simulation.
@@ -94,18 +94,18 @@ pub fn fig5_sweep(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<SingleNodeReport> {
-    let mut out = Vec::with_capacity(context_switches.len() * utilizations.len());
-    for &cs in context_switches {
-        for &u in utilizations {
-            out.push(simulate_single_node(&SingleNodeConfig {
-                utilization: u,
-                context_switch: cs,
-                duration,
-                seed,
-            }));
-        }
-    }
-    out
+    // Grid points are independent runs whose streams derive from
+    // (seed, utilization); fan out, keeping row-major order.
+    par_map_indexed(context_switches.len() * utilizations.len(), None, |idx| {
+        let cs = context_switches[idx / utilizations.len()];
+        let u = utilizations[idx % utilizations.len()];
+        simulate_single_node(&SingleNodeConfig {
+            utilization: u,
+            context_switch: cs,
+            duration,
+            seed,
+        })
+    })
 }
 
 /// The paper's Fig 5 grid: 100/300/500 µs × 10%–90% utilization.

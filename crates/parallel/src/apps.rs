@@ -13,7 +13,7 @@
 use crate::bsp::{run_bsp, BspConfig};
 use crate::comm::CommPattern;
 use crate::reconfig::largest_pow2_at_most;
-use linger_sim_core::SimDuration;
+use linger_sim_core::{par_map_indexed, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Which application.
@@ -101,29 +101,34 @@ pub struct Fig12Point {
 /// number of non-idle nodes (0–8) and their local utilization (10–40%)
 /// vary, under lingering.
 pub fn fig12(seed: u64) -> Vec<Fig12Point> {
-    let mut out = Vec::new();
-    for app in App::ALL {
+    const UTILS: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
+    const NON_IDLE: usize = 9; // 0..=8
+    // Per-app dedicated-cluster baselines, then the 3×4×9 grid; every
+    // point is an independent run, flattened in (app, util, non_idle)
+    // order so the output matches the serial loop nest exactly.
+    let ideals = par_map_indexed(App::ALL.len(), None, |a| {
+        let cfg = App::ALL[a].config(8, 8);
+        run_bsp(&cfg, &[0.0; 8], seed, 0).completion.as_secs_f64()
+    });
+    par_map_indexed(App::ALL.len() * UTILS.len() * NON_IDLE, None, |idx| {
+        let app = App::ALL[idx / (UTILS.len() * NON_IDLE)];
+        let lusg = UTILS[(idx / NON_IDLE) % UTILS.len()];
+        let non_idle = idx % NON_IDLE;
         let cfg = app.config(8, 8);
-        let ideal = run_bsp(&cfg, &[0.0; 8], seed, 0).completion.as_secs_f64();
-        for &lusg in &[0.1, 0.2, 0.3, 0.4] {
-            for non_idle in 0..=8usize {
-                let mut utils = vec![0.0; 8];
-                for u in utils.iter_mut().take(non_idle) {
-                    *u = lusg;
-                }
-                let t = run_bsp(&cfg, &utils, seed, (non_idle as u64) << 8 | (lusg * 100.0) as u64)
-                    .completion
-                    .as_secs_f64();
-                out.push(Fig12Point {
-                    app: app.name(),
-                    non_idle,
-                    local_util: lusg,
-                    slowdown: t / ideal,
-                });
-            }
+        let mut utils = vec![0.0; 8];
+        for u in utils.iter_mut().take(non_idle) {
+            *u = lusg;
         }
-    }
-    out
+        let t = run_bsp(&cfg, &utils, seed, (non_idle as u64) << 8 | (lusg * 100.0) as u64)
+            .completion
+            .as_secs_f64();
+        Fig12Point {
+            app: app.name(),
+            non_idle,
+            local_util: lusg,
+            slowdown: t / ideals[idx / (UTILS.len() * NON_IDLE)],
+        }
+    })
 }
 
 /// One point of the Fig 13 plot.
@@ -144,37 +149,45 @@ pub struct Fig13Point {
 /// non-idle nodes, for each application.
 pub fn fig13(seed: u64) -> Vec<Fig13Point> {
     const CLUSTER: usize = 16;
-    let mut out = Vec::new();
-    for app in App::ALL {
-        let ideal = {
-            let cfg = app.config(CLUSTER, CLUSTER);
-            run_bsp(&cfg, &[0.0; CLUSTER], seed, 0).completion.as_secs_f64()
-        };
-        for idle in (0..=CLUSTER).rev() {
-            // Reconfiguration: largest power of two ≤ idle (1 busy node
-            // when none are idle).
-            let (procs, busy) = if idle == 0 {
-                (1usize, 1usize)
-            } else {
-                (largest_pow2_at_most(idle), 0)
-            };
-            let t_rc = timed(app, procs, busy, CLUSTER, seed, idle as u64);
-            out.push(Fig13Point {
-                app: app.name(),
-                idle,
-                strategy: "reconfiguration",
-                slowdown: t_rc / ideal,
-            });
-            // Linger with 16 and 8 processes.
-            for &k in &[16usize, 8] {
+    const STRATEGIES: usize = 3; // reconfiguration, 16-node linger, 8-node linger
+    const IDLES: usize = CLUSTER + 1; // 16 down to 0
+    let ideals = par_map_indexed(App::ALL.len(), None, |a| {
+        let cfg = App::ALL[a].config(CLUSTER, CLUSTER);
+        run_bsp(&cfg, &[0.0; CLUSTER], seed, 0).completion.as_secs_f64()
+    });
+    // Flattened in (app, idle descending, strategy) order, matching the
+    // serial loop nest; every point is an independent run.
+    par_map_indexed(App::ALL.len() * IDLES * STRATEGIES, None, |idx| {
+        let app = App::ALL[idx / (IDLES * STRATEGIES)];
+        let ideal = ideals[idx / (IDLES * STRATEGIES)];
+        let idle = CLUSTER - (idx / STRATEGIES) % IDLES;
+        match idx % STRATEGIES {
+            0 => {
+                // Reconfiguration: largest power of two ≤ idle (1 busy
+                // node when none are idle).
+                let (procs, busy) = if idle == 0 {
+                    (1usize, 1usize)
+                } else {
+                    (largest_pow2_at_most(idle), 0)
+                };
+                let t_rc = timed(app, procs, busy, CLUSTER, seed, idle as u64);
+                Fig13Point {
+                    app: app.name(),
+                    idle,
+                    strategy: "reconfiguration",
+                    slowdown: t_rc / ideal,
+                }
+            }
+            s => {
+                // Linger with 16 (s == 1) or 8 (s == 2) processes.
+                let k = if s == 1 { 16usize } else { 8 };
                 let busy = k.saturating_sub(idle);
                 let t = timed(app, k, busy, CLUSTER, seed, (k as u64) << 16 | idle as u64);
                 let strategy = if k == 16 { "16 node linger" } else { "8 node linger" };
-                out.push(Fig13Point { app: app.name(), idle, strategy, slowdown: t / ideal });
+                Fig13Point { app: app.name(), idle, strategy, slowdown: t / ideal }
             }
         }
-    }
-    out
+    })
 }
 
 fn timed(app: App, procs: usize, busy: usize, cluster: usize, seed: u64, salt: u64) -> f64 {

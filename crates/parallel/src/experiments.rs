@@ -1,7 +1,7 @@
 //! The synthetic-BSP slowdown experiments (paper Figs 9 and 10).
 
 use crate::bsp::{slowdown, BspConfig};
-use linger_sim_core::SimDuration;
+use linger_sim_core::{par_map_indexed, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// One point of the Fig 9 curve.
@@ -17,17 +17,16 @@ pub struct Fig9Point {
 /// one non-idle node's local utilization sweeps 0–90%.
 pub fn fig9(seed: u64, phases: usize) -> Vec<Fig9Point> {
     let cfg = BspConfig { phases, ..BspConfig::fig9() };
-    (0..=9)
-        .map(|i| {
-            let u = i as f64 / 10.0;
-            let mut utils = vec![0.0; cfg.processes];
-            utils[0] = u;
-            Fig9Point {
-                utilization_pct: i * 10,
-                slowdown: slowdown(&cfg, &utils, seed),
-            }
-        })
-        .collect()
+    // Each utilization point is an independent simulation; fan out.
+    par_map_indexed(10, None, |i| {
+        let u = i as f64 / 10.0;
+        let mut utils = vec![0.0; cfg.processes];
+        utils[0] = u;
+        Fig9Point {
+            utilization_pct: i as u32 * 10,
+            slowdown: slowdown(&cfg, &utils, seed),
+        }
+    })
 }
 
 /// One point of a Fig 10 curve.
@@ -46,28 +45,28 @@ pub struct Fig10Point {
 /// held constant across granularities.
 pub fn fig10(seed: u64, total_compute: SimDuration) -> Vec<Fig10Point> {
     let granularities_ms: [u64; 7] = [10, 30, 100, 300, 1000, 3000, 10_000];
-    let mut out = Vec::new();
-    for &non_idle in &[1usize, 2, 4, 8] {
-        for &g in &granularities_ms {
-            let phases =
-                ((total_compute.as_secs_f64() * 1000.0 / g as f64).round() as usize).max(2);
-            let cfg = BspConfig {
-                compute_per_phase: SimDuration::from_millis(g),
-                phases,
-                ..BspConfig::fig9()
-            };
-            let mut utils = vec![0.0; cfg.processes];
-            for u in utils.iter_mut().take(non_idle) {
-                *u = 0.2;
-            }
-            out.push(Fig10Point {
-                granularity_ms: g,
-                non_idle,
-                slowdown: slowdown(&cfg, &utils, seed),
-            });
+    let curves: [usize; 4] = [1, 2, 4, 8];
+    // Flatten the 4×7 grid so every point fans out independently; the
+    // output stays in (curve, granularity) order.
+    par_map_indexed(curves.len() * granularities_ms.len(), None, |idx| {
+        let non_idle = curves[idx / granularities_ms.len()];
+        let g = granularities_ms[idx % granularities_ms.len()];
+        let phases = ((total_compute.as_secs_f64() * 1000.0 / g as f64).round() as usize).max(2);
+        let cfg = BspConfig {
+            compute_per_phase: SimDuration::from_millis(g),
+            phases,
+            ..BspConfig::fig9()
+        };
+        let mut utils = vec![0.0; cfg.processes];
+        for u in utils.iter_mut().take(non_idle) {
+            *u = 0.2;
         }
-    }
-    out
+        Fig10Point {
+            granularity_ms: g,
+            non_idle,
+            slowdown: slowdown(&cfg, &utils, seed),
+        }
+    })
 }
 
 #[cfg(test)]

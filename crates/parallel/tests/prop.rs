@@ -65,7 +65,7 @@ proptest! {
         let r = run_bsp(&c, &vec![0.0; procs], seed, 1);
         // log2(procs) dependency rounds of latency each phase.
         let min_comm = if procs > 1 {
-            SimDuration::from_millis(procs_log as u64 * 4 * 1)
+            SimDuration::from_millis(procs_log as u64 * 4)
         } else {
             SimDuration::ZERO
         };

@@ -147,18 +147,15 @@ impl<S: Simulation> Engine<S> {
             if budget == 0 {
                 return RunOutcome::Budget;
             }
-            match self.queue.peek_time() {
-                None => {
+            let Some((at, event)) = self.queue.pop_due(horizon) else {
+                return if self.queue.is_empty() {
                     // Drained: clock rests at the last event handled.
-                    return RunOutcome::Drained;
-                }
-                Some(at) if at > horizon => {
+                    RunOutcome::Drained
+                } else {
                     self.now = horizon;
-                    return RunOutcome::Horizon;
-                }
-                Some(_) => {}
-            }
-            let (at, event) = self.queue.pop().expect("peeked event exists");
+                    RunOutcome::Horizon
+                };
+            };
             debug_assert!(at >= self.now, "event queue yielded past event");
             self.now = at;
             self.events_handled += 1;

@@ -12,7 +12,10 @@
 //! * [`EventQueue`] / [`Engine`] — a pending-event set with stable
 //!   tie-breaking and a generic event loop;
 //! * [`RngFactory`] — per-component deterministic random streams, enabling
-//!   common-random-number comparison of scheduling policies.
+//!   common-random-number comparison of scheduling policies;
+//! * [`par_map_indexed`] — deterministic fan-out of independent
+//!   simulation units (replications, sweep points) across scoped worker
+//!   threads, with results in index order at any thread count.
 //!
 //! ## Example
 //!
@@ -40,11 +43,13 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod par;
 mod queue;
 mod rng;
 mod time;
 
 pub use engine::{Context, Engine, RunOutcome, Simulation};
+pub use par::{default_jobs, par_map_indexed, set_default_jobs};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::{domains, RngFactory, SimRng, StreamId};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

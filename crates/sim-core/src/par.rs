@@ -1,0 +1,138 @@
+//! Deterministic fan-out of independent simulation units.
+//!
+//! Replications, policy variants, and sweep points are embarrassingly
+//! parallel: each unit derives its random streams from its *logical
+//! index* (never from a thread id), so what runs where — and on how
+//! many threads — cannot influence any result. [`par_map_indexed`]
+//! executes `f(0..n)` on a scoped worker pool and returns results in
+//! index order; output is byte-identical at any thread count,
+//! including 1.
+//!
+//! The worker count comes from an explicit argument or the process-wide
+//! default ([`set_default_jobs`]), which the experiment binaries wire
+//! to `--jobs N`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count; 0 means "auto" (one per core).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default worker count used when
+/// [`par_map_indexed`] is called with `jobs = None`. `0` restores
+/// auto-detection (one worker per available core).
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count a `jobs = None` fan-out resolves to right now.
+pub fn default_jobs() -> usize {
+    resolve_jobs(None)
+}
+
+fn resolve_jobs(jobs: Option<usize>) -> usize {
+    let n = jobs.unwrap_or_else(|| DEFAULT_JOBS.load(Ordering::Relaxed));
+    if n == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        n
+    }
+}
+
+/// Run `f(i)` for every `i in 0..n` on `jobs` scoped worker threads
+/// (`None` → the process default) and return the results in index
+/// order.
+///
+/// Work distribution is dynamic (an atomic ticket counter), so uneven
+/// unit costs balance across workers, but assignment never leaks into
+/// results: `f` receives only the index, and each result lands in the
+/// slot of the index that produced it. `f` must derive any randomness
+/// from that index (e.g. `seed + i as u64`) for cross-thread-count
+/// determinism to hold.
+pub fn par_map_indexed<U, F>(n: usize, jobs: Option<usize>, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = resolve_jobs(jobs).clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            // A panicking unit propagates here, after the scope has
+            // joined every worker.
+            for (i, value) in handle.join().expect("simulation unit panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = par_map_indexed(100, Some(4), |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        // Simulate index-seeded work with uneven cost.
+        let unit = |i: usize| {
+            let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1);
+            for _ in 0..(i % 7) * 1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        };
+        let serial = par_map_indexed(64, Some(1), unit);
+        for jobs in [2, 3, 4, 8] {
+            assert_eq!(par_map_indexed(64, Some(jobs), unit), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map_indexed(0, Some(4), |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, Some(4), |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn default_jobs_knob_round_trips() {
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

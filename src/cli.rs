@@ -71,7 +71,12 @@ commands:
                [--util <u>] [--phases <n>] [--seed <n>]
                BSP job slowdown with some hosts busy
   traces       [--machines <n>] [--hours <h>] [--seed <n>] [--out <file>]
-               synthesize and characterize coarse traces";
+               synthesize and characterize coarse traces
+
+every command also accepts --threads <n>: worker threads for sweeps
+that fan out internally (0 = one per core; results are identical either
+way) — named --threads, not --jobs, because cluster's --jobs already
+counts batch jobs";
 
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Cli, CliError> {
@@ -108,6 +113,12 @@ fn req<T: std::str::FromStr>(cli: &Cli, key: &str) -> Result<T, CliError> {
 
 /// Execute a parsed invocation, returning the report text.
 pub fn run(cli: &Cli) -> Result<String, CliError> {
+    if let Some(v) = cli.options.get("threads") {
+        let threads: usize = v
+            .parse()
+            .map_err(|_| CliError::BadValue("threads".into(), v.clone()))?;
+        linger_sim_core::set_default_jobs(threads);
+    }
     match cli.command.as_str() {
         "linger-time" => cmd_linger_time(cli),
         "node" => cmd_node(cli),
@@ -339,6 +350,18 @@ mod tests {
         let cli = parse(&args("traces --machines 2 --hours 1")).unwrap();
         let out = run(&cli).unwrap();
         assert!(out.contains("non-idle fraction"), "{out}");
+    }
+
+    #[test]
+    fn threads_option_is_accepted_and_validated() {
+        let cli = parse(&args("node --util 0.4 --secs 30 --threads 2")).unwrap();
+        assert!(run(&cli).unwrap().contains("owner delay ratio"));
+        let cli = parse(&args("node --threads nope")).unwrap();
+        assert!(matches!(run(&cli).unwrap_err(), CliError::BadValue(k, _) if k == "threads"));
+        // `cluster --jobs <n>` keeps its original meaning (batch-job
+        // count) and must not be read as a worker-thread setting.
+        let cli = parse(&args("cluster --nodes 4 --jobs 4 --job-secs 60 --policy IE")).unwrap();
+        assert!(run(&cli).unwrap().contains("4 jobs"));
     }
 
     #[test]

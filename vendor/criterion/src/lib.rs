@@ -1,0 +1,213 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A functional micro-benchmark harness with the same API shape the
+//! workspace's benches use (`criterion_group!` / `criterion_main!`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter` /
+//! `iter_batched`). Measurement is deliberately simple: a short warmup
+//! to size the batch, then a fixed number of timed samples, reporting
+//! median / mean / min per benchmark on stdout. No statistical
+//! regression machinery, plots, or baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Per-sample batch sizing hint (accepted for API compatibility; all
+/// variants measure the routine around a cloned/rebuilt input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is cheap to construct.
+    SmallInput,
+    /// Input is expensive to construct.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Collected timings for one benchmark.
+struct Samples(Vec<Duration>);
+
+impl Samples {
+    fn report(&self, name: &str) {
+        let mut per_iter: Vec<f64> = self.0.iter().map(|d| d.as_secs_f64()).collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = per_iter.len();
+        let median = per_iter[n / 2];
+        let mean = per_iter.iter().sum::<f64>() / n as f64;
+        let min = per_iter[0];
+        println!(
+            "bench: {name:<44} median {} | mean {} | min {} ({n} samples)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(min)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>9.4} s ")
+    } else if secs >= 1e-3 {
+        format!("{:>9.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>9.4} µs", secs * 1e6)
+    } else {
+        format!("{:>9.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs and times the
+/// routine.
+pub struct Bencher {
+    /// Timed samples of one routine invocation, filled by `iter*`.
+    samples: Vec<Duration>,
+    /// How many invocations each sample aggregates (set during warmup).
+    iters_per_sample: u64,
+    /// Number of samples to record.
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: 30,
+        }
+    }
+
+    /// Benchmark `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: find an iteration count that takes ≥ ~5 ms, capped so
+        // total time stays bounded for slow routines.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(5) || iters >= 1 << 20 {
+                // Slow routines get fewer samples.
+                if el >= Duration::from_millis(200) {
+                    self.sample_count = 10;
+                }
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+    }
+
+    /// Benchmark `routine` on a fresh input from `setup` each call,
+    /// timing only the routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup to size the sample (setup excluded from timing).
+        let mut iters = 1u64;
+        loop {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                timed += t.elapsed();
+            }
+            if timed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                if timed >= Duration::from_millis(200) {
+                    self.sample_count = 10;
+                }
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                timed += t.elapsed();
+            }
+            self.samples.push(timed / iters as u32);
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        Samples(b.samples).report(name);
+        self
+    }
+
+    /// Open a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        Samples(b.samples).report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. --bench); accept
+            // an optional substring filter as the first free argument.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,105 @@
+//! Case execution: deterministic per-case RNG and the failure type the
+//! `prop_assert*` macros return.
+
+use rand_chacha::rand_core::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Runner configuration (the subset of upstream this workspace sets).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick on small
+        // machines while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed case, carrying the formatted assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Upstream-compatible alias for [`TestCaseError::fail`].
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::fail(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias for `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The per-case RNG: a ChaCha8 stream keyed by the test's fully
+/// qualified name and the case index, so every run of the suite — any
+/// machine, any thread count — generates identical inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// RNG for case `case` of the named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then mix in the case index; feeds
+        // ChaCha8's 64-bit seed expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng(ChaCha8Rng::seed_from_u64(h))
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw on `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (self.0.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+/// Run `f` against `config.cases` deterministic cases; panics (failing
+/// the enclosing `#[test]`) on the first case whose body returns `Err`.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        if let Err(e) = f(&mut rng) {
+            panic!(
+                "proptest: {test_name} failed at case {case}/{} \
+                 (deterministic; re-run reproduces it)\n{e}",
+                config.cases
+            );
+        }
+    }
+}

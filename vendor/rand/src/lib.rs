@@ -1,0 +1,157 @@
+//! Offline vendored stand-in for `rand` (the API subset this workspace
+//! uses).
+//!
+//! Provides [`Rng::random`] over the `StandardUniform`-equivalent
+//! value distribution, bit-compatible with upstream `rand` 0.9:
+//! `f64` draws use the 53-bit `next_u64 >> 11` construction, integer
+//! draws pass the generator words through unchanged.
+
+#![warn(missing_docs)]
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Types that can be drawn uniformly from an RNG (the subset of
+/// upstream's `StandardUniform` distribution this workspace needs).
+pub trait Standard {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Low word first, matching upstream.
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        lo | (hi << 64)
+    }
+}
+
+impl Standard for i64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for u16 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for u8 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream uses the sign bit of a 32-bit draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform on [0, 1) — upstream's
+        // `StandardUniform` construction.
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * SCALE
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a uniform value of type `T`.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+        fn fill_bytes(&mut self, dst: &mut [u8]) {
+            for b in dst {
+                *b = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval_53_bit() {
+        let mut lo = Fixed(0);
+        assert_eq!(lo.random::<f64>(), 0.0);
+        let mut hi = Fixed(u64::MAX);
+        let x: f64 = hi.random();
+        assert!(x < 1.0 && x > 0.9999999999999);
+    }
+
+    #[test]
+    fn u64_passes_through() {
+        let mut r = Fixed(0xDEAD_BEEF);
+        assert_eq!(r.random::<u64>(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw(r: &mut (dyn RngCore + '_)) -> f64 {
+            r.random()
+        }
+        let mut r = Fixed(0);
+        assert_eq!(draw(&mut r), 0.0);
+    }
+}

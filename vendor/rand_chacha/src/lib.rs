@@ -1,0 +1,217 @@
+//! Offline vendored stand-in for `rand_chacha`: the ChaCha stream
+//! cipher family used as counter-based deterministic RNGs.
+//!
+//! The keystream is bit-compatible with upstream `rand_chacha` (djb
+//! variant: 64-bit block counter in state words 12–13, 64-bit stream id
+//! in words 14–15, both zero on `from_seed`; output words delivered in
+//! block order). The zero-key keystreams are pinned against the ECRYPT
+//! test vectors below, so every simulation seeded through
+//! `linger_sim_core::RngFactory` reproduces the recorded golden values.
+
+#![warn(missing_docs)]
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even. Returns the 16 output words
+/// (working state + input state).
+#[inline]
+fn chacha_block(input: &[u32; 16], rounds: u32) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            /// Input state for the *next* block (counter included).
+            state: [u32; 16],
+            /// Buffered output of the current block.
+            buf: [u32; 16],
+            /// Next unread word in `buf`; 16 means "refill needed".
+            idx: usize,
+        }
+
+        impl $name {
+            /// Refill the output buffer from the current counter and
+            /// advance the 64-bit counter (words 12–13).
+            fn refill(&mut self) {
+                self.buf = chacha_block(&self.state, $rounds);
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+                self.idx = 0;
+            }
+
+            /// Select the 64-bit stream id (state words 14–15), matching
+            /// upstream `set_stream`. Resets buffered output.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.state[14] = stream as u32;
+                self.state[15] = (stream >> 32) as u32;
+                self.idx = 16;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CONSTANTS);
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                // Words 12..16 (counter, stream) start at zero.
+                $name { state, buf: [0; 16], idx: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+
+            fn fill_bytes(&mut self, dst: &mut [u8]) {
+                let mut chunks = dst.chunks_exact_mut(4);
+                for chunk in &mut chunks {
+                    chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+                }
+                let rem = chunks.into_remainder();
+                if !rem.is_empty() {
+                    let w = self.next_u32().to_le_bytes();
+                    rem.copy_from_slice(&w[..rem.len()]);
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds — the workspace's simulation RNG.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keystream<R: RngCore + SeedableRng<Seed = [u8; 32]>>(n: usize) -> Vec<u8> {
+        let mut rng = R::from_seed([0u8; 32]);
+        let mut out = vec![0u8; n];
+        rng.fill_bytes(&mut out);
+        out
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn chacha20_zero_key_matches_published_vector() {
+        // ECRYPT/djb ChaCha20, 256-bit zero key, zero IV, block 0.
+        let ks = keystream::<ChaCha20Rng>(32);
+        assert_eq!(
+            hex(&ks),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+        );
+    }
+
+    #[test]
+    fn chacha8_zero_key_matches_published_vector() {
+        // ECRYPT/djb ChaCha8, 256-bit zero key, zero IV, block 0.
+        let ks = keystream::<ChaCha8Rng>(32);
+        assert_eq!(
+            hex(&ks),
+            "3e00ef2f895f40d67f5bb8e81f09a5a12c840ec3ce9a7f3b181be188ef711a1e"
+        );
+    }
+
+    #[test]
+    fn counter_carries_across_blocks() {
+        let mut a = ChaCha8Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha8Rng::from_seed([7u8; 32]);
+        // Drain three blocks worth through different call shapes.
+        let mut bytes = vec![0u8; 192];
+        a.fill_bytes(&mut bytes);
+        let mut words = Vec::new();
+        for _ in 0..48 {
+            words.extend_from_slice(&b.next_u32().to_le_bytes());
+        }
+        assert_eq!(bytes, words);
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = ChaCha8Rng::from_seed([1u8; 32]);
+        let mut b = ChaCha8Rng::from_seed([1u8; 32]);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn seed_from_u64_is_stable() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

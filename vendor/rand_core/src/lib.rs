@@ -1,0 +1,109 @@
+//! Offline vendored stand-in for `rand_core` (the API subset this
+//! workspace uses).
+//!
+//! The build environment has no access to crates.io, so the external
+//! RNG crates are replaced by small in-repo implementations. Only the
+//! surface actually exercised by the simulators is provided: the
+//! [`RngCore`] source trait and [`SeedableRng`] construction, including
+//! the standard `seed_from_u64` SplitMix64 expansion (bit-compatible
+//! with upstream `rand_core`).
+
+#![warn(missing_docs)]
+
+/// A source of random `u32`/`u64` values and byte fills.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        (**self).fill_bytes(dst)
+    }
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 exactly as
+    /// upstream `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dst: &mut [u8]) {
+            for b in dst {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_matches_upstream_splitmix() {
+        // SplitMix64(0) first output is the well-known constant.
+        let c = Counter::seed_from_u64(0);
+        assert_eq!(c.0, 0xe220a8397b1dcdaf);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counter(0);
+        let r = &mut c;
+        fn take<R: RngCore>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        assert_eq!(take(&mut *r), 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! replaces upstream serde with a deliberately small design: types
+//! serialize into a self-describing [`Value`] tree and deserialize back
+//! out of one. `serde_json` (also vendored) renders and parses that
+//! tree. The `#[derive(Serialize, Deserialize)]` macros are provided by
+//! the companion `serde_derive` proc-macro crate and follow upstream's
+//! data model where it matters to this workspace:
+//!
+//! * structs → objects with fields in declaration order;
+//! * newtype structs → the inner value, transparently;
+//! * tuple structs → arrays;
+//! * unit enum variants → the variant name as a string;
+//! * data-carrying enum variants → externally tagged
+//!   `{ "Variant": ... }` objects.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing serialized value (the JSON data model, with
+/// integers kept exact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An object; insertion order is preserved (struct field order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match *v {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => {
+                        return Err(Error::msg(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match *v {
+                    Value::Int(n) => n,
+                    Value::UInt(n) if n <= i64::MAX as u64 => n as i64,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => f as i64,
+                    ref other => {
+                        return Err(Error::msg(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Float(f) => Ok(f),
+            Value::UInt(n) => Ok(n as f64),
+            Value::Int(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN), // serde_json writes non-finite floats as null
+            ref other => Err(Error::msg(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Upstream borrows from the input; this value-tree model cannot,
+        // so leak instead. Only small label strings in figure records use
+        // `&'static str` fields, and they are rarely (if ever) read back.
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::msg(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!("expected single-char string, found {}", other.kind()))),
+        }
+    }
+}
+
+// ----------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Seq(items) => Err(Error::msg(format!(
+                        "expected array of length {LEN}, found {}",
+                        items.len()
+                    ))),
+                    other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::msg(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrips_through_null() {
+        assert_eq!(Some(3u32).to_value(), Value::UInt(3));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn negative_ints_and_floats_cross_decode() {
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(7i64.to_value(), Value::UInt(7));
+        assert_eq!(f64::from_value(&Value::UInt(4)).unwrap(), 4.0);
+        assert_eq!(u32::from_value(&Value::Float(9.0)).unwrap(), 9);
+        assert!(u32::from_value(&Value::Float(9.5)).is_err());
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = (1u32, 2.5f64, "x".to_string()).to_value();
+        assert_eq!(
+            v,
+            Value::Seq(vec![
+                Value::UInt(1),
+                Value::Float(2.5),
+                Value::Str("x".into())
+            ])
+        );
+        let back: (u32, f64, String) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1, 2.5, "x".to_string()));
+    }
+
+    #[test]
+    fn arrays_enforce_length() {
+        let v = [1u8, 2, 3].to_value();
+        let ok: [u8; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(ok, [1, 2, 3]);
+        assert!(<[u8; 2] as Deserialize>::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, with no `syn`/`quote`
+//! dependency: the input token stream is walked by hand and the impl is
+//! generated as a string parsed back into a `TokenStream`.
+//!
+//! Supported shapes (matching upstream serde's data model):
+//! * named structs → objects with fields in declaration order;
+//! * one-field tuple structs (newtypes) → the inner value;
+//! * multi-field tuple structs → arrays;
+//! * unit structs → null;
+//! * enums: unit variants → the variant name as a string; newtype /
+//!   tuple / struct variants → externally tagged `{ "Variant": ... }`.
+//!
+//! Not supported (and not present in the workspace): generics, `where`
+//! clauses, `#[serde(...)]` attributes, untagged/adjacent enum
+//! representations.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// --------------------------------------------------------------- model
+
+enum Fields {
+    Unit,
+    /// Tuple fields; the count.
+    Unnamed(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// -------------------------------------------------------------- parsing
+
+/// Skip leading `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix, starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token slice on top-level commas, treating `<...>` generic
+/// arguments as nested (groups are already single trees, but angle
+/// brackets are plain puncts).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract field names from the token stream inside a brace-delimited
+/// field list.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter_map(|field| {
+            let i = skip_attrs_and_vis(field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Count fields in a parenthesized tuple field list.
+fn count_unnamed_fields(group_tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter(|f| {
+            let i = skip_attrs_and_vis(f, 0);
+            i < f.len()
+        })
+        .count()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported (type `{name}`)");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                // `struct Foo;`
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    match g.delimiter() {
+                        Delimiter::Brace => Fields::Named(parse_named_fields(&inner)),
+                        Delimiter::Parenthesis => Fields::Unnamed(count_unnamed_fields(&inner)),
+                        d => panic!("serde_derive: unexpected delimiter {d:?} on struct `{name}`"),
+                    }
+                }
+                other => panic!("serde_derive: unexpected token {other:?} in struct `{name}`"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            let variants = split_top_level_commas(&body)
+                .iter()
+                .filter_map(|v| {
+                    let mut j = skip_attrs_and_vis(v, 0);
+                    let vname = match v.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return None,
+                    };
+                    j += 1;
+                    let fields = match v.get(j) {
+                        Some(TokenTree::Group(g)) => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            match g.delimiter() {
+                                Delimiter::Brace => Fields::Named(parse_named_fields(&inner)),
+                                Delimiter::Parenthesis => {
+                                    Fields::Unnamed(count_unnamed_fields(&inner))
+                                }
+                                _ => Fields::Unit,
+                            }
+                        }
+                        _ => Fields::Unit,
+                    };
+                    Some(Variant { name: vname, fields })
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+// ------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Unnamed(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Unnamed(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Unnamed(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Unnamed(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![\
+                                 (\"{vn}\".to_string(), serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match v {{ serde::Value::Null => Ok({name}), \
+                     other => Err(serde::Error::msg(format!(\
+                     \"{name}: expected null, found {{}}\", other.kind()))) }}"
+                ),
+                Fields::Unnamed(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Unnamed(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             serde::Value::Seq(items) if items.len() == {n} => \
+                                 Ok({name}({})),\n\
+                             other => Err(serde::Error::msg(format!(\
+                                 \"{name}: expected array of {n} elements, found {{}}\", \
+                                 other.kind()))),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names.iter().map(|f| field_init(name, f)).collect();
+                    format!(
+                        "match v {{\n\
+                             serde::Value::Map(_) => Ok({name} {{ {} }}),\n\
+                             other => Err(serde::Error::msg(format!(\
+                                 \"{name}: expected object, found {{}}\", other.kind()))),\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Unnamed(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Unnamed(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Seq(items) if items.len() == {n} => \
+                                         Ok({name}::{vn}({})),\n\
+                                     other => Err(serde::Error::msg(format!(\
+                                         \"{name}::{vn}: expected array of {n} elements, \
+                                         found {{}}\", other.kind()))),\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| field_init_from(&format!("{name}::{vn}"), "inner", f))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Map(_) => Ok({name}::{vn} {{ {} }}),\n\
+                                     other => Err(serde::Error::msg(format!(\
+                                         \"{name}::{vn}: expected object, found {{}}\", \
+                                         other.kind()))),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit}\n\
+                                 other => Err(serde::Error::msg(format!(\
+                                     \"{name}: unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data}\n\
+                                     other => Err(serde::Error::msg(format!(\
+                                         \"{name}: unknown variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::Error::msg(format!(\
+                                 \"{name}: expected string or single-key object, found {{}}\", \
+                                 other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `field: Deserialize::from_value(v.get("field").ok_or(...)?)?` for a
+/// top-level struct (`v` is the value in scope).
+fn field_init(ty: &str, field: &str) -> String {
+    field_init_from(ty, "v", field)
+}
+
+fn field_init_from(ty: &str, source: &str, field: &str) -> String {
+    format!(
+        "{field}: serde::Deserialize::from_value({source}.get(\"{field}\")\
+         .ok_or_else(|| serde::Error::msg(\"{ty}: missing field `{field}`\"))?)?"
+    )
+}

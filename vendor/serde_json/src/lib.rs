@@ -1,0 +1,483 @@
+//! Offline vendored stand-in for `serde_json`, rendering and parsing
+//! the vendored `serde` [`Value`] tree.
+//!
+//! Output conventions match upstream where the workspace depends on
+//! them: compact `to_writer`, 2-space-indent `to_writer_pretty`,
+//! integral floats written with a trailing `.0`, non-finite floats
+//! written as `null`. Formatting is deterministic — identical value
+//! trees always produce identical bytes, which is what the
+//! determinism tests compare.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ------------------------------------------------------------- writing
+
+/// Serialize `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent) into
+/// `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string_pretty(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // Upstream writes non-finite floats as null.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e16 {
+        // Integral value: keep the ".0" marker so the round trip stays
+        // a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        // Rust's Display for f64 is the shortest representation that
+        // round-trips, like upstream's ryu output.
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_escaped_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_f64(*f, out),
+        Value::Str(s) => write_escaped_str(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped_str(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, depth: usize, out: &mut String) {
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_escaped_str(k, out);
+                out.push_str(": ");
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+// ------------------------------------------------------------- reading
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_str(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserialize a `T` from a JSON reader.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+fn parse_value_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<()> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::msg(format!(
+            "expected `{}` at byte {}",
+            c as char, *pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => parse_literal(b, pos, "null", Value::Null),
+        Some(b't') => parse_literal(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::msg(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect `\uXXXX` low half.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                *pos += 6;
+                                0x10000 + (((hi - 0xD800) as u32) << 10) + (lo - 0xDC00) as u32
+                            } else {
+                                return Err(Error::msg("unpaired surrogate"));
+                            }
+                        } else {
+                            hi as u32
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::msg(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input came from &str, so
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u16> {
+    let chunk = b
+        .get(at..at + 4)
+        .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+    let s = std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid \\u escape"))?;
+    u16::from_str_radix(s, 16).map_err(|_| Error::msg("invalid \\u escape"))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if text.is_empty() || text == "-" {
+        return Err(Error::msg(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Some(rest) = text.strip_prefix('-') {
+            if let Ok(n) = rest.parse::<u64>() {
+                if n <= i64::MAX as u64 + 1 {
+                    return Ok(Value::Int((n as i128).wrapping_neg() as i64));
+                }
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::UInt(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Seq(vec![Value::Float(1.5), Value::Null])),
+            ("c".into(), Value::Str("x\"y\n".into())),
+            ("d".into(), Value::Int(-7)),
+        ]);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "{\"a\":1,\"b\":[1.5,null],\"c\":\"x\\\"y\\n\",\"d\":-7}");
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_uses_two_space_indent() {
+        let v = Value::Map(vec![("k".into(), Value::Seq(vec![Value::UInt(1)]))]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        let mut out = String::new();
+        write_compact(&Value::Float(3.0), &mut out);
+        assert_eq!(out, "3.0");
+        let back: Value = from_str("3.0").unwrap();
+        assert_eq!(back, Value::Float(3.0));
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn float_shortest_repr_roundtrips() {
+        for &f in &[0.1, 1.0 / 3.0, 6.02e23, 1e-300, -2.5e-5] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f, "{s}");
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![(1u64, 0.25f64), (2, 0.5)];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<(u64, f64)> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Value::Seq(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Map(vec![])).unwrap(), "{}");
+        let v: Value = from_str("  { }  ").unwrap();
+        assert_eq!(v, Value::Map(vec![]));
+    }
+
+    #[test]
+    fn reader_writer_paths() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        let back: Vec<u32> = from_reader(&buf[..]).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_int_boundaries() {
+        let v: Value = from_str("-9223372036854775808").unwrap();
+        assert_eq!(v, Value::Int(i64::MIN));
+        let n: i64 = from_str("-42").unwrap();
+        assert_eq!(n, -42);
+    }
+}
