@@ -1,0 +1,54 @@
+//! Scaling benchmarks of the cluster window loop: the same constant-load
+//! throughput configuration the `ext_scaling` sweep runs, at 64 and 1024
+//! nodes, isolating the per-window cost (setup excluded) so regressions
+//! in the indexed node state or the window-major refresh show up as a
+//! superlinear gap between the two sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linger::{JobFamily, Policy};
+use linger_cluster::{ClusterConfig, ClusterSim, RunMode};
+use linger_sim_core::{SimDuration, SimTime};
+use linger_workload::CoarseTraceConfig;
+use std::hint::black_box;
+
+fn throughput_cfg(policy: Policy, nodes: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper(
+        policy,
+        JobFamily::uniform((2 * nodes) as u32, SimDuration::from_secs(300), 8 * 1024),
+    );
+    cfg.nodes = nodes;
+    cfg.seed = 1998;
+    cfg.trace = CoarseTraceConfig {
+        duration: SimDuration::from_secs(3600),
+        ..Default::default()
+    };
+    cfg.mode = RunMode::Throughput { horizon: SimTime::from_secs(600) };
+    cfg
+}
+
+fn bench_window_loop(c: &mut Criterion) {
+    for nodes in [64usize, 1024] {
+        for policy in [Policy::LingerLonger, Policy::ImmediateEviction] {
+            let name = format!("window_loop_{}n_{}", nodes, policy.abbrev());
+            c.bench_function(&name, |b| {
+                b.iter_batched(
+                    || ClusterSim::new(throughput_cfg(policy, nodes)),
+                    |mut sim| {
+                        sim.run();
+                        black_box(sim.completed())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+}
+
+fn bench_setup(c: &mut Criterion) {
+    c.bench_function("cluster_setup_1024n", |b| {
+        b.iter(|| black_box(ClusterSim::new(throughput_cfg(Policy::LingerLonger, 1024))))
+    });
+}
+
+criterion_group!(benches, bench_window_loop, bench_setup);
+criterion_main!(benches);

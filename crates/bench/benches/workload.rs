@@ -22,6 +22,30 @@ fn bench_bursts(c: &mut Criterion) {
     });
 }
 
+fn bench_bursts_changing_utilization(c: &mut Criterion) {
+    // Drives the generator the way the cluster simulators do: the target
+    // utilization is reset every window (often to the same value, as CPU
+    // load tends to dwell in one trace bucket), with a burst drawn after
+    // each reset. Exercises the set_utilization fast path that skips the
+    // distribution rebuild when the interpolated parameters are unchanged.
+    let f = RngFactory::new(1);
+    let sweep: Vec<f64> = (0..64).map(|w| 0.2 + 0.5 * ((w / 8) % 2) as f64).collect();
+    c.bench_function("burst_generation_changing_utilization", |b| {
+        b.iter(|| {
+            let mut gen = BurstGenerator::paper(sweep[0]);
+            let mut rng = f.stream_for(domains::FINE_BURSTS, 1);
+            let mut acc = 0u64;
+            for _ in 0..256 {
+                for &u in &sweep {
+                    gen.set_utilization(u);
+                    acc = acc.wrapping_add(gen.next_burst(&mut rng).duration.as_nanos());
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
 fn bench_fit(c: &mut Criterion) {
     c.bench_function("two_moment_fit_sweep", |b| {
         b.iter(|| {
@@ -64,5 +88,5 @@ fn bench_traces(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_bursts, bench_fit, bench_traces);
+criterion_group!(benches, bench_bursts, bench_bursts_changing_utilization, bench_fit, bench_traces);
 criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Extension: simulator scaling sweep — all four policies at 64–4096
+//! nodes in constant-load throughput mode, with wall-clock per
+//! node-window. The paper's evaluation stops at 64 workstations; this
+//! sweep shows the indexed-node-state window loop holds its
+//! per-node-window cost out to thousands.
+
+use linger_bench::output::{banner, note_artifact, HarnessArgs};
+use linger_bench::{
+    ext_scaling, scaling_ns_per_node_window, write_json, Table, SCALING_NODE_COUNTS,
+};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Extension: scaling sweep",
+        "four policies, 64-4096 nodes, cost per node-window",
+    );
+    let (points, timings) = ext_scaling(args.seed, args.fast);
+    let mut t = Table::new(vec![
+        "nodes",
+        "policy",
+        "windows",
+        "completed",
+        "foreign cpu (s)",
+        "setup (s)",
+        "window loop (s)",
+        "ns/node-window",
+    ]);
+    for (p, tm) in points.iter().zip(&timings) {
+        t.row(vec![
+            format!("{}", p.nodes),
+            p.policy.clone(),
+            format!("{}", p.windows),
+            format!("{}", p.completed),
+            format!("{:.0}", p.foreign_cpu_secs),
+            format!("{:.3}", tm.setup_secs),
+            format!("{:.3}", tm.run_secs),
+            format!("{:.1}", tm.ns_per_node_window),
+        ]);
+    }
+    t.print();
+    let lo = SCALING_NODE_COUNTS[0];
+    let hi = *SCALING_NODE_COUNTS.last().unwrap();
+    let base = scaling_ns_per_node_window(&timings, lo);
+    let top = scaling_ns_per_node_window(&timings, hi);
+    println!(
+        "\nper-node-window cost: {base:.0} ns at {lo} nodes vs {top:.0} ns at {hi} nodes \
+         ({:.2}x; flat means the window loop scales linearly in cluster size)",
+        top / base.max(1e-12)
+    );
+    note_artifact("ext_scaling", write_json("ext_scaling", &points));
+}

@@ -271,6 +271,22 @@ fn main() {
         ),
         ok: heavy.linger.jobs_per_hour > 1.2 * heavy.rigid.jobs_per_hour,
     });
+    println!("running extension scaling sweep (64-4096 nodes) …");
+    let (es, es_t) = timings.time("ext_scaling", || ext_scaling(args.seed, args.fast));
+    note_artifact("ext_scaling", write_json("ext_scaling", &es));
+    let ns_lo = scaling_ns_per_node_window(&es_t, SCALING_NODE_COUNTS[0]);
+    let ns_hi = scaling_ns_per_node_window(&es_t, *SCALING_NODE_COUNTS.last().unwrap());
+    timings.scaling = es_t;
+    checks.push(Check {
+        name: "Ext: window-loop cost per node-window flat to 4096 nodes",
+        paper: "extension: indexed node state, no per-window rescans".into(),
+        measured: format!(
+            "{ns_lo:.0} ns at 64 nodes vs {ns_hi:.0} ns at 4096 ({:.2}x)",
+            ns_hi / ns_lo.max(1e-12)
+        ),
+        ok: ns_hi <= 2.0 * ns_lo,
+    });
+
     let ep = timings.time("ext_predictor", || linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 }));
     note_artifact("ext_predictor", write_json("ext_predictor", &ep));
     let pareto_best = ep

@@ -12,7 +12,7 @@ use linger_sim_core::{domains, par_map_indexed, RngFactory, SimDuration, SimTime
 use linger_stats::Distribution;
 use linger_workload::{
     analysis::{CoarseAggregates, FineGrainAnalysis},
-    BurstKind, BurstParamTable, CoarseTraceConfig, DispatchTrace, LocalWorkload,
+    BurstFitTable, BurstKind, BurstParamTable, CoarseTraceConfig, DispatchTrace, LocalWorkload,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -240,7 +240,7 @@ pub fn fig06(seed: u64, fast: bool) -> Fig6Result {
     let mut wl = LocalWorkload::new(
         trace.clone(),
         0,
-        BurstParamTable::paper_calibrated(),
+        BurstFitTable::paper_shared(),
         factory.stream_for(domains::FINE_BURSTS, 0),
     );
     let horizon = SimTime::ZERO + trace.duration();
@@ -458,6 +458,46 @@ mod tests {
     }
 
     #[test]
+    fn ext_scaling_cells_are_deterministic_and_match_cluster_sim_new() {
+        // A scaling cell must reproduce exactly what ClusterSim::new
+        // would compute from the same config — the shared traces/offsets
+        // are an optimization, not a semantic change — and re-running
+        // the sweep must give byte-identical points.
+        let (points, timings) = ext_scaling_at(SEED, &[16], true);
+        assert_eq!(points.len(), 4);
+        assert_eq!(timings.len(), 4);
+        let (again, _) = ext_scaling_at(SEED, &[16], true);
+        for (a, b) in points.iter().zip(&again) {
+            assert_eq!(serde_json::to_string(a).unwrap(), serde_json::to_string(b).unwrap());
+        }
+        for (p, t) in points.iter().zip(&timings) {
+            assert_eq!(p.windows, 300, "600 s horizon at 2 s windows");
+            assert_eq!(t.node_windows, 16.0 * 300.0);
+            assert!(p.completed > 0, "{}: nothing finished", p.policy);
+        }
+        // Direct construction path gives the same numbers.
+        let family =
+            JobFamily::uniform(32, SimDuration::from_secs(300), 8 * 1024);
+        let mut cfg =
+            linger_cluster::ClusterConfig::paper(Policy::LingerLonger, family);
+        cfg.nodes = 16;
+        cfg.seed = SEED;
+        cfg.trace = CoarseTraceConfig {
+            duration: SimDuration::from_secs(3600),
+            ..Default::default()
+        };
+        cfg.mode = linger_cluster::RunMode::Throughput {
+            horizon: SimTime::from_secs(600),
+        };
+        let mut sim = linger_cluster::ClusterSim::new(cfg);
+        sim.run();
+        let ll = &points[0];
+        assert_eq!(ll.policy, "LL");
+        assert_eq!(ll.completed, sim.completed());
+        assert_eq!(ll.foreign_cpu_secs, sim.foreign_cpu_delivered().as_secs_f64());
+    }
+
+    #[test]
     fn paper_reference_is_fig7_shaped() {
         let refs = fig07_paper_reference();
         assert_eq!(refs.len(), 8);
@@ -491,6 +531,171 @@ pub fn ext_parallel_throughput(
     }
     let loads: &[u64] = if fast { &[30, 90, 300] } else { &[30, 60, 90, 180, 300, 600] };
     linger_parallel::throughput_sweep(&base, loads)
+}
+
+/// Node counts the scaling extension sweeps.
+pub const SCALING_NODE_COUNTS: [usize; 4] = [64, 256, 1024, 4096];
+
+/// One deterministic cell of the scaling sweep. Every field is a pure
+/// function of `(seed, fast)`, so CI can byte-diff the JSON across
+/// machines and thread counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Policy abbreviation (LL / LF / IE / PM).
+    pub policy: String,
+    /// Windows simulated (horizon / 2 s).
+    pub windows: usize,
+    /// Jobs completed inside the horizon.
+    pub completed: usize,
+    /// Foreign CPU delivered over the horizon, seconds.
+    pub foreign_cpu_secs: f64,
+    /// Cluster-wide foreground delay ratio.
+    pub foreground_delay: f64,
+}
+
+/// Wall-clock of one scaling cell — kept out of [`ScalingPoint`] so the
+/// deterministic JSON stays machine-independent.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingTiming {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Policy abbreviation.
+    pub policy: String,
+    /// Seconds building the simulator (per-cell share of the trace
+    /// synthesis, which runs once per node count, plus construction).
+    pub setup_secs: f64,
+    /// Seconds inside the window loop, averaged over the timing
+    /// replicates.
+    pub run_secs: f64,
+    /// Identical runs timed: small cells finish in microseconds, so the
+    /// loop repeats until the measured time is comfortably above clock
+    /// granularity. Replicates share traces and produce byte-identical
+    /// results; only the first run's outcomes are reported.
+    pub timing_reps: u32,
+    /// `nodes × windows` of one run of the cell.
+    pub node_windows: f64,
+    /// Window-loop nanoseconds per node-window.
+    pub ns_per_node_window: f64,
+}
+
+/// Window-loop nanoseconds per node-window at one node count, aggregated
+/// over all policies — the scorecard's flat-scaling criterion.
+pub fn scaling_ns_per_node_window(timings: &[ScalingTiming], nodes: usize) -> f64 {
+    let mut secs = 0.0;
+    let mut node_windows = 0.0;
+    for t in timings.iter().filter(|t| t.nodes == nodes) {
+        secs += t.run_secs;
+        node_windows += t.node_windows;
+    }
+    if node_windows == 0.0 {
+        0.0
+    } else {
+        secs * 1e9 / node_windows
+    }
+}
+
+/// The scaling extension: all four policies at the node counts in
+/// `node_counts`, in constant-load throughput mode, with wall-clock per
+/// node-window. The paper stops at 64 nodes; this sweep shows the
+/// indexed-node-state simulator holds its per-node-window cost out to
+/// thousands of workstations.
+///
+/// Cells run serially so the timings are uncontended; inside a cell the
+/// trace synthesis fans out deterministically. Traces and offsets depend
+/// only on `(seed, node id)`, exactly as [`linger_cluster::ClusterSim::new`]
+/// derives them, so they are synthesized once per node count and shared
+/// (`Arc`) across the four policies.
+pub fn ext_scaling_at(
+    seed: u64,
+    node_counts: &[usize],
+    fast: bool,
+) -> (Vec<ScalingPoint>, Vec<ScalingTiming>) {
+    let horizon = SimTime::from_secs(if fast { 600 } else { 3600 });
+    // One hour of coarse trace, replayed cyclically — enough diversity
+    // for a scaling study while keeping 4096 nodes' traces in memory.
+    let trace_cfg = CoarseTraceConfig {
+        duration: SimDuration::from_secs(3600),
+        ..Default::default()
+    };
+    let runner = crate::Runner::new();
+    let mut points = Vec::new();
+    let mut timings = Vec::new();
+    for &nodes in node_counts {
+        let t0 = std::time::Instant::now();
+        let factory = RngFactory::new(seed);
+        let traces: Vec<Arc<linger_workload::CoarseTrace>> =
+            runner.run(nodes, |n| Arc::new(trace_cfg.synthesize(&factory, n as u64)));
+        let offsets: Vec<usize> = traces
+            .iter()
+            .enumerate()
+            .map(|(n, t)| LocalWorkload::random_offset(t, &factory, n as u64))
+            .collect();
+        let shared_setup = t0.elapsed().as_secs_f64() / Policy::ALL.len() as f64;
+        for policy in Policy::ALL {
+            let t1 = std::time::Instant::now();
+            let expected_windows =
+                (horizon.as_nanos() / linger_cluster::WINDOW.as_nanos()) as f64;
+            // Enough identical runs to keep the timed region well above
+            // clock granularity (a 64-node cell alone finishes in ~2 ms).
+            let reps = ((256.0 * 1024.0 / (nodes as f64 * expected_windows)).ceil()
+                as u32)
+                .clamp(1, 16);
+            let mut sims: Vec<linger_cluster::ClusterSim> = (0..reps)
+                .map(|_| {
+                    let family = JobFamily::uniform(
+                        (2 * nodes) as u32,
+                        SimDuration::from_secs(300),
+                        8 * 1024,
+                    );
+                    let mut cfg = linger_cluster::ClusterConfig::paper(policy, family);
+                    cfg.nodes = nodes;
+                    cfg.seed = seed;
+                    cfg.trace = trace_cfg.clone();
+                    cfg.mode = linger_cluster::RunMode::Throughput { horizon };
+                    linger_cluster::ClusterSim::with_traces(
+                        cfg,
+                        traces.clone(),
+                        offsets.clone(),
+                    )
+                })
+                .collect();
+            let setup_secs = shared_setup + t1.elapsed().as_secs_f64();
+            let t2 = std::time::Instant::now();
+            for sim in &mut sims {
+                sim.run();
+            }
+            let run_secs = t2.elapsed().as_secs_f64() / reps as f64;
+            let sim = &sims[0];
+            let windows =
+                (sim.now().as_nanos() / linger_cluster::WINDOW.as_nanos()) as usize;
+            let node_windows = nodes as f64 * windows as f64;
+            points.push(ScalingPoint {
+                nodes,
+                policy: policy.abbrev().to_string(),
+                windows,
+                completed: sim.completed(),
+                foreign_cpu_secs: sim.foreign_cpu_delivered().as_secs_f64(),
+                foreground_delay: sim.foreground_delay_ratio(),
+            });
+            timings.push(ScalingTiming {
+                nodes,
+                policy: policy.abbrev().to_string(),
+                setup_secs,
+                run_secs,
+                timing_reps: reps,
+                node_windows,
+                ns_per_node_window: run_secs * 1e9 / node_windows.max(1.0),
+            });
+        }
+    }
+    (points, timings)
+}
+
+/// [`ext_scaling_at`] over the full [`SCALING_NODE_COUNTS`] sweep.
+pub fn ext_scaling(seed: u64, fast: bool) -> (Vec<ScalingPoint>, Vec<ScalingTiming>) {
+    ext_scaling_at(seed, &SCALING_NODE_COUNTS, fast)
 }
 
 // -------------------------------------------------------- ablations

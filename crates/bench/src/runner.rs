@@ -83,6 +83,10 @@ pub struct RunTimings {
     pub fast: bool,
     /// Per-section wall-clock, in execution order.
     pub sections: Vec<SectionTiming>,
+    /// Per-cell wall-clock of the scaling sweep (`ext_scaling`),
+    /// including nanoseconds per node-window; empty when the sweep did
+    /// not run.
+    pub scaling: Vec<crate::experiments::ScalingTiming>,
     /// Total wall-clock seconds.
     pub total_secs: f64,
 }

@@ -17,13 +17,34 @@ use crate::state::{JobRecord, JobState, NodeId, NodeState};
 use linger::cost::should_migrate;
 use linger::{JobId, JobSpec, Policy};
 use linger_node::steal_rate;
-use linger_sim_core::{RngFactory, SimDuration, SimTime};
+use linger_sim_core::{NodeIndex, RngFactory, SimDuration, SimTime};
 use linger_workload::{CoarseTrace, LocalWorkload, TwoPoolMemory, SAMPLE_PERIOD_SECS};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One simulation window (= the coarse-trace sampling period).
 pub const WINDOW: SimDuration = SimDuration::from_secs(SAMPLE_PERIOD_SECS);
+
+/// One node's state in one window, packed for the window-major refresh.
+#[derive(Clone, Copy)]
+struct WindowCell {
+    cpu: f64,
+    mem_kb: u32,
+    idle: bool,
+}
+
+/// Window-major node-state table: row `w % period` holds every node's
+/// `(cpu, idle, mem)` for window `w`, with each node's random trace
+/// offset already baked in. The per-window refresh then walks one
+/// contiguous row instead of chasing `2·nodes` scattered trace arrays —
+/// the difference between cache hits and misses at thousands of nodes.
+/// Built only when every trace shares one period (always true for
+/// synthesized libraries); irregular hand-built traces fall back to
+/// per-trace lookups.
+struct WindowTable {
+    period: usize,
+    cells: Vec<WindowCell>,
+}
 
 /// The cluster simulation.
 pub struct ClusterSim {
@@ -42,6 +63,33 @@ pub struct ClusterSim {
     next_job_id: u32,
     /// Completed job count.
     completed: usize,
+    /// Nodes with no hosted foreign job, maintained incrementally at
+    /// every claim/release (replaces the per-query full scan).
+    free: NodeIndex,
+    /// Complement of `free`: nodes hosting (or reserved for) a job.
+    busy: NodeIndex,
+    /// `free ∧ idle_w` — the destination-candidate set every placement
+    /// and migration query starts from. Rebuilt from the traces at the
+    /// top of each window, then maintained at every claim/release, so a
+    /// saturated cluster answers "no idle node" in O(1) instead of
+    /// rescanning all free nodes.
+    free_idle: NodeIndex,
+    /// Per-window scratch: `is_idle`/`cpu` of every node at the current
+    /// window, filled once per [`Self::step`].
+    idle_w: Vec<bool>,
+    cpu_w: Vec<f64>,
+    /// Reusable buffers for the window loop (snapshot of `busy`, and the
+    /// not-yet-placeable queue tail).
+    busy_scratch: Vec<usize>,
+    place_scratch: VecDeque<usize>,
+    /// Superset of the jobs currently in [`JobState::Migrating`] —
+    /// appended to on every migration start, compacted each window — so
+    /// transfer progress and arrivals never rescan the ever-growing job
+    /// table (throughput mode appends a record per respawn).
+    migrating: Vec<usize>,
+    /// Window-major `(cpu, idle, mem)` table; `None` when the traces
+    /// have unequal periods.
+    window_table: Option<WindowTable>,
 }
 
 impl ClusterSim {
@@ -52,14 +100,13 @@ impl ClusterSim {
         let traces: Vec<Arc<CoarseTrace>> = (0..cfg.nodes)
             .map(|n| Arc::new(cfg.trace.synthesize(&factory, n as u64)))
             .collect();
-        // Reuse LocalWorkload's offset convention for determinism.
+        // Reuse LocalWorkload's offset convention for determinism (the
+        // same TRACE_OFFSET stream draw, without building a per-node
+        // burst generator the window-granular simulator never samples).
         let offsets: Vec<usize> = traces
             .iter()
             .enumerate()
-            .map(|(n, t)| {
-                LocalWorkload::with_random_offset(t.clone(), &factory, n as u64, cfg.table.clone())
-                    .offset()
-            })
+            .map(|(n, t)| LocalWorkload::random_offset(t, &factory, n as u64))
             .collect();
         Self::with_traces(cfg, traces, offsets)
     }
@@ -76,7 +123,7 @@ impl ClusterSim {
     ) -> Self {
         assert_eq!(traces.len(), cfg.nodes, "one trace per node");
         assert_eq!(offsets.len(), cfg.nodes, "one offset per node");
-        let nodes = traces
+        let nodes: Vec<NodeState> = traces
             .into_iter()
             .zip(offsets)
             .map(|(trace, offset)| {
@@ -89,9 +136,28 @@ impl ClusterSim {
                 }
             })
             .collect();
+        let period = nodes.first().map(|n| n.trace.len()).unwrap_or(0);
+        let window_table = if period > 0 && nodes.iter().all(|n| n.trace.len() == period) {
+            let mut cells = Vec::with_capacity(period * nodes.len());
+            for w in 0..period {
+                for node in &nodes {
+                    let i = node.sample_index(w);
+                    let s = node.trace.sample(i);
+                    cells.push(WindowCell {
+                        cpu: s.cpu,
+                        mem_kb: s.mem_used_kb,
+                        idle: node.trace.is_idle(i),
+                    });
+                }
+            }
+            Some(WindowTable { period, cells })
+        } else {
+            None
+        };
         let jobs: Vec<JobRecord> = cfg.family.jobs().iter().map(|s| JobRecord::new(*s)).collect();
         let queue = (0..jobs.len()).collect();
         let next_job_id = jobs.len() as u32;
+        let n = cfg.nodes;
         ClusterSim {
             cfg,
             nodes,
@@ -103,6 +169,15 @@ impl ClusterSim {
             local_delay_secs: 0.0,
             next_job_id,
             completed: 0,
+            free: NodeIndex::full(n),
+            busy: NodeIndex::new(n),
+            free_idle: NodeIndex::new(n),
+            idle_w: vec![false; n],
+            cpu_w: vec![0.0; n],
+            busy_scratch: Vec::with_capacity(n),
+            place_scratch: VecDeque::new(),
+            migrating: Vec::new(),
+            window_table,
         }
     }
 
@@ -164,25 +239,63 @@ impl ClusterSim {
         let t = self.now();
         let w = self.window;
 
-        // 1. Refresh per-node memory demand from the traces.
-        for node in &mut self.nodes {
-            let used = node.mem_used(w);
-            node.memory.set_local_kb(used);
+        // 0. Per-window node state: one trace lookup per node, reused by
+        //    every policy/placement query below instead of re-deriving
+        //    idle/cpu from the trace at each query.
+        // (Memory demand refreshes in the same pass: each node's fields
+        // are independent, so fusing the loops only saves a second walk
+        // over the node array. The window-major table holds the exact
+        // values the per-trace lookups would return.)
+        self.free_idle.clear();
+        if let Some(tbl) = &self.window_table {
+            let n = self.nodes.len();
+            let row = &tbl.cells[(w % tbl.period) * n..(w % tbl.period) * n + n];
+            for (ni, c) in row.iter().enumerate() {
+                self.idle_w[ni] = c.idle;
+                self.cpu_w[ni] = c.cpu;
+                self.nodes[ni].memory.set_local_kb(c.mem_kb);
+                if c.idle && self.free.contains(ni) {
+                    self.free_idle.insert(ni);
+                }
+            }
+        } else {
+            for ni in 0..self.nodes.len() {
+                let node = &mut self.nodes[ni];
+                let idle = node.is_idle(w);
+                self.idle_w[ni] = idle;
+                self.cpu_w[ni] = node.cpu(w);
+                let used = node.mem_used(w);
+                node.memory.set_local_kb(used);
+                if idle && self.free.contains(ni) {
+                    self.free_idle.insert(ni);
+                }
+            }
         }
 
         // 2. Shared-network transfer progress, then migration arrivals.
+        //    `migrating` is a superset of the in-flight jobs, so working
+        //    from it (sorted — the ascending order the old full job-table
+        //    scan visited) touches the same jobs in the same order. An
+        //    arrival can evict-and-remigrate (IE on a now-busy
+        //    destination), pushing onto `self.migrating` mid-loop; those
+        //    jobs have fresh deadlines in the future and are merged back
+        //    for the next window.
+        let mut mig = std::mem::take(&mut self.migrating);
+        mig.sort_unstable();
+        mig.dedup();
         if let Some(net) = self.cfg.network {
-            let flows = self
-                .jobs
+            let flows = mig
                 .iter()
-                .filter(|j| {
+                .filter(|&&ji| {
+                    let j = &self.jobs[ji];
                     j.state == JobState::Migrating
                         && j.migration_bits_left.is_some_and(|b| b > 0.0)
                 })
                 .count();
             if flows > 0 {
                 let moved = net.bits_transferred(flows, WINDOW.as_secs_f64());
-                for j in &mut self.jobs {
+                for &ji in &mig {
+                    let j = &mut self.jobs[ji];
                     if j.state == JobState::Migrating {
                         if let Some(bits) = j.migration_bits_left.as_mut() {
                             *bits -= moved;
@@ -191,7 +304,7 @@ impl ClusterSim {
                 }
             }
         }
-        for ji in 0..self.jobs.len() {
+        for &ji in &mig {
             let j = &self.jobs[ji];
             let fixed_done = j.migration_until.is_some_and(|until| t >= until);
             let bits_done = j.migration_bits_left.is_none_or(|b| b <= 0.0);
@@ -199,17 +312,28 @@ impl ClusterSim {
                 self.arrive(ji, t);
             }
         }
+        mig.retain(|&ji| self.jobs[ji].state == JobState::Migrating);
+        mig.extend(&self.migrating);
+        self.migrating = mig;
 
-        // 3. Idle/non-idle transitions and policy decisions.
-        for ni in 0..self.nodes.len() {
+        // 3. Idle/non-idle transitions and policy decisions — hosted
+        //    nodes only; the busy index skips free nodes entirely.
+        //    Snapshot it first: migrations during the loop reshape the
+        //    set, but any node (re)claimed mid-loop hosts a Migrating
+        //    job, which every arm below ignores, and released nodes are
+        //    caught by the re-check on `hosted`.
+        let mut busy_scratch = std::mem::take(&mut self.busy_scratch);
+        busy_scratch.clear();
+        busy_scratch.extend(self.busy.iter());
+        for &ni in &busy_scratch {
             let Some(ji) = self.nodes[ni].hosted else { continue };
             match self.jobs[ji].state {
                 JobState::Running
-                    if !self.nodes[ni].is_idle(w) => {
+                    if !self.idle_w[ni] => {
                         self.on_non_idle(ji, NodeId(ni), t);
                     }
                 JobState::Lingering => {
-                    if self.nodes[ni].is_idle(w) {
+                    if self.idle_w[ni] {
                         // Episode over; back to plain running.
                         self.jobs[ji].state = JobState::Running;
                         self.jobs[ji].episode_start = None;
@@ -218,7 +342,7 @@ impl ClusterSim {
                     }
                 }
                 JobState::Paused => {
-                    if self.nodes[ni].is_idle(w) {
+                    if self.idle_w[ni] {
                         self.jobs[ji].state = JobState::Running;
                         self.jobs[ji].episode_start = None;
                         self.jobs[ji].pause_deadline = None;
@@ -230,10 +354,16 @@ impl ClusterSim {
             }
         }
 
-        // 4. Progress, completions, and delay accounting.
+        // 4. Progress, completions, and delay accounting. The busy-hours
+        //    sum runs over every node (same ascending order as before);
+        //    job progress only touches hosted nodes.
         for ni in 0..self.nodes.len() {
-            let u = self.nodes[ni].cpu(w);
-            self.local_busy_secs += u * WINDOW.as_secs_f64();
+            self.local_busy_secs += self.cpu_w[ni] * WINDOW.as_secs_f64();
+        }
+        busy_scratch.clear();
+        busy_scratch.extend(self.busy.iter());
+        for &ni in &busy_scratch {
+            let u = self.cpu_w[ni];
             let Some(ji) = self.nodes[ni].hosted else { continue };
             let state = self.jobs[ji].state;
             if !matches!(state, JobState::Running | JobState::Lingering) {
@@ -270,21 +400,26 @@ impl ClusterSim {
                 self.jobs[ji].breakdown.add(state, WINDOW);
             }
         }
+        self.busy_scratch = busy_scratch;
 
         // 5. Placement of queued jobs.
-        self.place_queued(t, w);
+        self.place_queued(t);
 
-        // 6. Queue/migration state accounting for jobs not on nodes.
+        // 6. Queue-time accounting. After placement, `self.queue` holds
+        //    exactly the jobs in `JobState::Queued` (everything else on
+        //    it was placed or deferred by arrival time), so walking it
+        //    touches the same records the old full job-table scan did —
+        //    without visiting every completed job of the run. A job in
+        //    `Migrating` always has a reserved destination (both
+        //    migration starts set one), so the old scan's off-node
+        //    migration arm never fired.
         // Queue time starts at submission, not at simulation start.
-        for j in &mut self.jobs {
-            match j.state {
-                JobState::Queued if t >= j.spec.arrival => {
-                    j.breakdown.add(JobState::Queued, WINDOW)
-                }
-                JobState::Migrating if j.node.is_none() => {
-                    j.breakdown.add(JobState::Migrating, WINDOW)
-                }
-                _ => {}
+        for qi in 0..self.queue.len() {
+            let ji = self.queue[qi];
+            let j = &mut self.jobs[ji];
+            debug_assert_eq!(j.state, JobState::Queued);
+            if t >= j.spec.arrival {
+                j.breakdown.add(JobState::Queued, WINDOW);
             }
         }
 
@@ -315,9 +450,8 @@ impl ClusterSim {
         let Some(dest) = self.best_destination(self.jobs[ji].spec, Some(node)) else {
             return; // nowhere better to go; keep lingering
         };
-        let w = self.window;
-        let h = self.nodes[node.0].cpu(w);
-        let l = self.nodes[dest.0].cpu(w);
+        let h = self.cpu_w[node.0];
+        let l = self.cpu_w[dest.0];
         let t_migr = self.cfg.params.migration.cost(self.jobs[ji].spec.mem_kb);
         let age = t.saturating_since(start);
         if should_migrate(age, h, l, t_migr) {
@@ -354,7 +488,8 @@ impl ClusterSim {
         j.episode_start = None;
         j.pause_deadline = None;
         j.migrations += 1;
-        self.nodes[dest.0].hosted = Some(ji); // reserve
+        self.migrating.push(ji);
+        self.claim_node(dest, ji); // reserve
     }
 
     /// Fixed-deadline and transfer terms for a migration starting at `t`.
@@ -377,9 +512,8 @@ impl ClusterSim {
     /// A migrating job materializes on its reserved destination.
     fn arrive(&mut self, ji: usize, t: SimTime) {
         let node = self.jobs[ji].node.expect("migration has a destination");
-        let w = self.window;
         self.nodes[node.0].memory.attach_foreign(self.jobs[ji].spec.mem_kb);
-        let idle = self.nodes[node.0].is_idle(w);
+        let idle = self.idle_w[node.0];
         let j = &mut self.jobs[ji];
         j.migration_until = None;
         j.migration_bits_left = None;
@@ -419,70 +553,101 @@ impl ClusterSim {
         }
     }
 
+    fn claim_node(&mut self, node: NodeId, ji: usize) {
+        self.nodes[node.0].hosted = Some(ji);
+        self.free.remove(node.0);
+        self.free_idle.remove(node.0);
+        self.busy.insert(node.0);
+    }
+
     fn release_node(&mut self, node: NodeId) {
         self.nodes[node.0].memory.detach_foreign();
         self.nodes[node.0].hosted = None;
+        self.free.insert(node.0);
+        if self.idle_w[node.0] {
+            self.free_idle.insert(node.0);
+        }
+        self.busy.remove(node.0);
     }
 
     /// The best migration destination: the free idle node with the lowest
     /// current utilization that can hold the job.
+    ///
+    /// The `free_idle` index iterates ascending — the order the old full
+    /// scan visited nodes — so `min_by` (with the id tiebreak) picks the
+    /// very same destination, and a saturated cluster (no free idle
+    /// nodes) answers in O(1).
     fn best_destination(&self, spec: JobSpec, exclude: Option<NodeId>) -> Option<NodeId> {
-        let w = self.window;
-        self.free_nodes(exclude)
-            .filter(|&ni| self.nodes[ni].is_idle(w))
+        let ex = exclude.map(|n| n.0);
+        self.free_idle
+            .iter()
+            .filter(|&ni| Some(ni) != ex)
             .filter(|&ni| self.nodes[ni].memory.fits(spec.mem_kb))
             .min_by(|&a, &b| {
-                self.nodes[a]
-                    .cpu(w)
-                    .partial_cmp(&self.nodes[b].cpu(w))
+                self.cpu_w[a]
+                    .partial_cmp(&self.cpu_w[b])
                     .expect("finite cpu")
                     .then(a.cmp(&b))
             })
             .map(NodeId)
     }
 
-    fn free_nodes(&self, exclude: Option<NodeId>) -> impl Iterator<Item = usize> + '_ {
-        let ex = exclude.map(|n| n.0);
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(move |(i, n)| n.hosted.is_none() && Some(*i) != ex)
-            .map(|(i, _)| i)
-    }
-
     /// FIFO placement of queued jobs: idle nodes first; lingering policies
     /// may fall back to the least-loaded non-idle node (Sec 4.2: LL "can
     /// run jobs on any semi-available node").
-    fn place_queued(&mut self, t: SimTime, w: usize) {
-        let mut unplaced = VecDeque::new();
+    fn place_queued(&mut self, t: SimTime) {
+        let mut unplaced = std::mem::take(&mut self.place_scratch);
+        unplaced.clear();
+        // Smallest memory demand whose scan already came up empty this
+        // pass. While placing, both candidate sets only shrink (claims
+        // remove nodes; free nodes' memory never changes mid-pass), so a
+        // failure at `m` KB guarantees failure for any demand ≥ m — the
+        // scan can be skipped without changing a single placement. This
+        // turns the saturated-queue case from O(queue × free) into
+        // O(queue).
+        let mut idle_fail_kb = u32::MAX;
+        let mut nonidle_fail_kb = u32::MAX;
         while let Some(ji) = self.queue.pop_front() {
             if self.jobs[ji].spec.arrival > t {
                 unplaced.push_back(ji);
                 continue;
             }
             let spec = self.jobs[ji].spec;
-            let target = self.best_destination(spec, None).or_else(|| {
-                if self.cfg.params.policy.places_on_non_idle() {
-                    // Least-loaded non-idle node that can take the job.
-                    self.free_nodes(None)
-                        .filter(|&ni| !self.nodes[ni].is_idle(w))
-                        .filter(|&ni| self.nodes[ni].memory.fits(spec.mem_kb))
-                        .min_by(|&a, &b| {
-                            self.nodes[a]
-                                .cpu(w)
-                                .partial_cmp(&self.nodes[b].cpu(w))
-                                .expect("finite cpu")
-                                .then(a.cmp(&b))
-                        })
-                        .map(NodeId)
-                } else {
-                    None
+            let mut target = if spec.mem_kb >= idle_fail_kb {
+                None
+            } else {
+                let d = self.best_destination(spec, None);
+                if d.is_none() {
+                    idle_fail_kb = spec.mem_kb;
                 }
-            });
+                d
+            };
+            if target.is_none()
+                && self.cfg.params.policy.places_on_non_idle()
+                && spec.mem_kb < nonidle_fail_kb
+            {
+                // Least-loaded non-idle node that can take the job.
+                let d = self
+                    .free
+                    .iter()
+                    .filter(|&ni| !self.idle_w[ni])
+                    .filter(|&ni| self.nodes[ni].memory.fits(spec.mem_kb))
+                    .min_by(|&a, &b| {
+                        self.cpu_w[a]
+                            .partial_cmp(&self.cpu_w[b])
+                            .expect("finite cpu")
+                            .then(a.cmp(&b))
+                    })
+                    .map(NodeId);
+                if d.is_none() {
+                    nonidle_fail_kb = spec.mem_kb;
+                }
+                target = d;
+            }
             match target {
                 None => unplaced.push_back(ji),
                 Some(dest) => {
-                    self.nodes[dest.0].hosted = Some(ji);
+                    self.claim_node(dest, ji);
                     if self.jobs[ji].has_run {
                         // Re-materializing an evicted job costs a
                         // migration.
@@ -493,9 +658,10 @@ impl ClusterSim {
                         j.migration_until = Some(until);
                         j.migration_bits_left = bits;
                         j.migrations += 1;
+                        self.migrating.push(ji);
                     } else {
                         self.nodes[dest.0].memory.attach_foreign(spec.mem_kb);
-                        let idle = self.nodes[dest.0].is_idle(w);
+                        let idle = self.idle_w[dest.0];
                         let j = &mut self.jobs[ji];
                         j.node = Some(dest);
                         j.has_run = true;
@@ -510,7 +676,9 @@ impl ClusterSim {
                 }
             }
         }
-        self.queue = unplaced;
+        // The drained queue buffer becomes next window's scratch.
+        std::mem::swap(&mut self.queue, &mut unplaced);
+        self.place_scratch = unplaced;
     }
 }
 
@@ -636,6 +804,34 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn node_indices_track_hosted_state() {
+        // The incremental free/busy indices must equal the naive hosted
+        // scan after every window, for every policy.
+        for policy in Policy::ALL {
+            let mut sim = ClusterSim::new(small_cfg(policy));
+            for _ in 0..300 {
+                sim.step();
+                let free_scan: Vec<usize> = (0..sim.nodes.len())
+                    .filter(|&ni| sim.nodes[ni].hosted.is_none())
+                    .collect();
+                let busy_scan: Vec<usize> = (0..sim.nodes.len())
+                    .filter(|&ni| sim.nodes[ni].hosted.is_some())
+                    .collect();
+                assert_eq!(sim.free.iter().collect::<Vec<_>>(), free_scan, "{policy}");
+                assert_eq!(sim.busy.iter().collect::<Vec<_>>(), busy_scan, "{policy}");
+                let free_idle_scan: Vec<usize> = (0..sim.nodes.len())
+                    .filter(|&ni| sim.nodes[ni].hosted.is_none() && sim.idle_w[ni])
+                    .collect();
+                assert_eq!(
+                    sim.free_idle.iter().collect::<Vec<_>>(),
+                    free_idle_scan,
+                    "{policy}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! [`crate::hybrid::predict_completion`]'s estimator.
 
 use linger_node::steal_rate;
-use linger_sim_core::{RngFactory, SimDuration, SimTime};
+use linger_sim_core::{NodeIndex, RngFactory, SimDuration, SimTime};
 use linger_workload::{BurstParamTable, CoarseTrace, CoarseTraceConfig, LocalWorkload, SAMPLE_PERIOD_SECS};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -116,16 +116,10 @@ pub fn simulate_parallel_cluster(
     let traces: Vec<Arc<CoarseTrace>> = (0..cfg.nodes)
         .map(|n| Arc::new(cfg.trace.synthesize(&factory, n as u64)))
         .collect();
+    // Same TRACE_OFFSET stream draw LocalWorkload would make, minus the
+    // burst-generator construction this window-granular sim never uses.
     let offsets: Vec<usize> = (0..cfg.nodes)
-        .map(|n| {
-            LocalWorkload::with_random_offset(
-                traces[n].clone(),
-                &factory,
-                n as u64,
-                table.clone(),
-            )
-            .offset()
-        })
+        .map(|n| LocalWorkload::random_offset(&traces[n], &factory, n as u64))
         .collect();
 
     // Pre-draw the arrival sequence.
@@ -153,7 +147,16 @@ pub fn simulate_parallel_cluster(
     let mut queue: VecDeque<SimTime> = VecDeque::new();
     let mut next_arrival = 0usize;
     let mut running: Vec<RunningJob> = Vec::new();
-    let mut node_claimed = vec![false; cfg.nodes];
+    // Unclaimed nodes and this window's idle set, as incremental indices:
+    // ascending iteration matches the old `(0..nodes).filter(...)` scans,
+    // so every placement decision below is unchanged.
+    let mut free = NodeIndex::full(cfg.nodes);
+    let mut idle = NodeIndex::new(cfg.nodes);
+    // Per-window scratch, hoisted out of the loop.
+    let mut cpu_w = vec![0.0f64; cfg.nodes];
+    let mut members_scratch: Vec<usize> = Vec::with_capacity(cfg.nodes);
+    let mut busy_scratch: Vec<usize> = Vec::with_capacity(cfg.width);
+    let mut finished: Vec<usize> = Vec::new();
     let mut completed = 0u32;
     let mut response_sum = 0.0f64;
     let mut slowdown_sum = 0.0f64;
@@ -168,75 +171,79 @@ pub fn simulate_parallel_cluster(
             next_arrival += 1;
         }
 
-        let idle_at = |n: usize| traces[n].is_idle(offsets[n] + w);
-        let cpu_at = |n: usize| traces[n].sample(offsets[n] + w).cpu;
+        // One trace lookup per node per window.
+        idle.clear();
+        for n in 0..cfg.nodes {
+            if traces[n].is_idle(offsets[n] + w) {
+                idle.insert(n);
+            }
+            cpu_w[n] = traces[n].sample(offsets[n] + w).cpu;
+        }
 
         // Placement.
         while let Some(&arrived) = queue.front() {
-            let members: Option<Vec<usize>> = match policy {
+            members_scratch.clear();
+            let placeable = match policy {
                 ParallelPolicy::RigidIdle => {
-                    let free_idle: Vec<usize> = (0..cfg.nodes)
-                        .filter(|&n| !node_claimed[n] && idle_at(n))
-                        .take(cfg.width)
-                        .collect();
-                    (free_idle.len() == cfg.width).then_some(free_idle)
+                    members_scratch.extend(free.iter_and(&idle).take(cfg.width));
+                    members_scratch.len() == cfg.width
                 }
                 ParallelPolicy::Linger => {
                     // Idle nodes first, then least-loaded non-idle ones.
-                    let mut free: Vec<usize> =
-                        (0..cfg.nodes).filter(|&n| !node_claimed[n]).collect();
-                    free.sort_by(|&a, &b| {
-                        idle_at(b)
-                            .cmp(&idle_at(a))
-                            .then(cpu_at(a).partial_cmp(&cpu_at(b)).expect("finite"))
+                    members_scratch.extend(free.iter());
+                    // The comparator is a total order (id tiebreak), so the
+                    // unstable sort is deterministic and identical to the
+                    // stable sort the scan-based code used.
+                    members_scratch.sort_unstable_by(|&a, &b| {
+                        idle.contains(b)
+                            .cmp(&idle.contains(a))
+                            .then(cpu_w[a].partial_cmp(&cpu_w[b]).expect("finite"))
                             .then(a.cmp(&b))
                     });
-                    (free.len() >= cfg.width).then(|| free[..cfg.width].to_vec())
+                    members_scratch.len() >= cfg.width
                 }
             };
-            match members {
-                Some(members) => {
-                    queue.pop_front();
-                    for &m in &members {
-                        node_claimed[m] = true;
-                    }
-                    running.push(RunningJob {
-                        arrived,
-                        members,
-                        phases_left: cfg.phases as f64,
-                        stalled_windows: 0,
-                        total_windows: 0,
-                    });
-                }
-                None => break,
+            if !placeable {
+                break;
             }
+            queue.pop_front();
+            let members = members_scratch[..cfg.width].to_vec();
+            for &m in &members {
+                free.remove(m);
+            }
+            running.push(RunningJob {
+                arrived,
+                members,
+                phases_left: cfg.phases as f64,
+                stalled_windows: 0,
+                total_windows: 0,
+            });
         }
 
         // Progress.
-        let mut finished: Vec<usize> = Vec::new();
+        finished.clear();
         for (ji, job) in running.iter_mut().enumerate() {
             job.total_windows += 1;
             job_windows += 1;
             // RigidIdle: replace members on nodes that turned non-idle.
             if policy == ParallelPolicy::RigidIdle {
-                let busy: Vec<usize> =
-                    job.members.iter().copied().filter(|&m| !idle_at(m)).collect();
-                if !busy.is_empty() {
-                    // Migrate to unclaimed idle nodes where possible.
-                    let mut spares: Vec<usize> = (0..cfg.nodes)
-                        .filter(|&n| !node_claimed[n] && idle_at(n))
-                        .collect();
-                    for b in busy {
-                        if let Some(spare) = spares.pop() {
-                            let slot =
-                                job.members.iter().position(|&m| m == b).expect("member");
-                            node_claimed[b] = false;
-                            node_claimed[spare] = true;
-                            job.members[slot] = spare;
-                        }
+                busy_scratch.clear();
+                busy_scratch.extend(job.members.iter().copied().filter(|&m| !idle.contains(m)));
+                // Migrate to unclaimed idle nodes where possible. The old
+                // code snapshotted the ascending free-idle list and popped
+                // from its back; `last_and` returns the same node, and a
+                // vacated member is non-idle so it can never re-qualify.
+                for &b in &busy_scratch {
+                    if let Some(spare) = free.last_and(&idle) {
+                        let slot = job.members.iter().position(|&m| m == b).expect("member");
+                        free.insert(b);
+                        free.remove(spare);
+                        job.members[slot] = spare;
+                    } else {
+                        break;
                     }
                 }
-                if job.members.iter().any(|&m| !idle_at(m)) {
+                if job.members.iter().any(|&m| !idle.contains(m)) {
                     // Still holding a non-idle node with no spare: stall.
                     job.stalled_windows += 1;
                     stalled_windows += 1;
@@ -247,10 +254,10 @@ pub fn simulate_parallel_cluster(
             let mut worst_wall = cfg.grain.as_secs_f64();
             let mut lingering = 0usize;
             for &m in &job.members {
-                let u = cpu_at(m);
+                let u = cpu_w[m];
                 let rate = steal_rate(&table, u, cs).max(1e-6);
                 let wall = cfg.grain.as_secs_f64() / rate;
-                if !idle_at(m) {
+                if !idle.contains(m) {
                     lingering += 1;
                 }
                 worst_wall = worst_wall.max(wall);
@@ -261,7 +268,7 @@ pub fn simulate_parallel_cluster(
                 let u_typ: f64 = job
                     .members
                     .iter()
-                    .map(|&m| cpu_at(m))
+                    .map(|&m| cpu_w[m])
                     .fold(0.0f64, f64::max);
                 let p = table.interpolate(u_typ);
                 if p.run_mean > 0.0 {
@@ -280,7 +287,7 @@ pub fn simulate_parallel_cluster(
         for &ji in finished.iter().rev() {
             let job = running.swap_remove(ji);
             for &m in &job.members {
-                node_claimed[m] = false;
+                free.insert(m);
             }
             completed += 1;
             let response = (now + window).saturating_since(job.arrived).as_secs_f64();

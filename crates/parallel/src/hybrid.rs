@@ -20,9 +20,17 @@
 use crate::bsp::{run_bsp, BspConfig};
 use crate::reconfig::{largest_pow2_at_most, MalleableJob, Strategy};
 use linger_node::steal_rate;
-use linger_sim_core::SimDuration;
+use linger_sim_core::{par_map_indexed, SimDuration};
 use linger_workload::BurstParamTable;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// The paper-calibrated table, built once per process — the predictor
+/// only reads interpolated moments from it.
+fn paper_table() -> &'static BurstParamTable {
+    static TABLE: OnceLock<BurstParamTable> = OnceLock::new();
+    TABLE.get_or_init(BurstParamTable::paper_calibrated)
+}
 
 /// Candidate process counts for a cluster of `cluster` nodes: the powers
 /// of two from 1 up to the cluster size.
@@ -49,8 +57,8 @@ pub fn predict_completion(job: &MalleableJob, k: usize, idle: usize) -> SimDurat
     let per_phase = if lingering == 0 {
         grain
     } else {
-        let table = BurstParamTable::paper_calibrated();
-        let rate = steal_rate(&table, job.local_util, SimDuration::from_micros(100));
+        let table = paper_table();
+        let rate = steal_rate(table, job.local_util, SimDuration::from_micros(100));
         if rate <= 0.0 {
             return SimDuration::MAX;
         }
@@ -136,39 +144,51 @@ pub struct HybridPoint {
 /// The hybrid-strategy extension experiment: reconfiguration vs.
 /// full-width lingering vs. the hybrid predictor vs. the oracle, across
 /// idle-node counts.
+///
+/// Each candidate width is simulated once per idle point and the average
+/// shared by the oracle argmin and every report column (the scan-based
+/// version re-simulated inside each `min_by` comparison, roughly 2× the
+/// sims for identical numbers). Idle points are independent, so they fan
+/// out across worker threads deterministically — results land in idle
+/// order and every simulation seed derives from `(k, idle, seed, rep)`
+/// alone, making the output identical at any thread count.
 pub fn hybrid_experiment(job: &MalleableJob, seed: u64, reps: u32) -> Vec<HybridPoint> {
-    let avg = |k: usize, idle: usize| {
+    let candidates = candidate_widths(job.cluster);
+    let sim_avg = |k: usize, idle: usize| {
         let total: f64 = (0..reps)
             .map(|r| simulate_width(job, k, idle, seed.wrapping_add(r as u64 * 0x51D)).as_secs_f64())
             .sum();
         total / reps as f64
     };
-    (0..=job.cluster)
-        .rev()
-        .map(|idle| {
-            let rc_k = if idle == 0 { 1 } else { largest_pow2_at_most(idle) };
-            // Reconfiguration never lingers: busy procs only when idle=0.
-            let reconfig_secs = if idle == 0 {
-                job.completion_avg(Strategy::Reconfiguration, 0, seed, reps).as_secs_f64()
-            } else {
-                avg(rc_k, idle.max(rc_k))
-            };
-            let hybrid_k = predict_best_k(job, idle);
-            let oracle_k = candidate_widths(job.cluster)
-                .into_iter()
-                .min_by(|&a, &b| avg(a, idle).partial_cmp(&avg(b, idle)).unwrap())
-                .unwrap();
-            HybridPoint {
-                idle,
-                reconfig_secs,
-                linger_full_secs: avg(job.cluster, idle),
-                hybrid_k,
-                hybrid_secs: avg(hybrid_k, idle),
-                oracle_k,
-                oracle_secs: avg(oracle_k, idle),
-            }
-        })
-        .collect()
+    par_map_indexed(job.cluster + 1, None, |i| {
+        let idle = job.cluster - i; // same (0..=cluster).rev() row order
+        let avg_by_k: Vec<f64> = candidates.iter().map(|&k| sim_avg(k, idle)).collect();
+        let avg = |k: usize| match candidates.iter().position(|&c| c == k) {
+            Some(ci) => avg_by_k[ci],
+            None => sim_avg(k, idle), // non-power-of-two cluster width
+        };
+        let rc_k = if idle == 0 { 1 } else { largest_pow2_at_most(idle) };
+        // Reconfiguration never lingers: busy procs only when idle=0.
+        // (`rc_k ≤ idle`, so the lingering count `rc_k - idle` is zero.)
+        let reconfig_secs = if idle == 0 {
+            job.completion_avg(Strategy::Reconfiguration, 0, seed, reps).as_secs_f64()
+        } else {
+            avg(rc_k)
+        };
+        let hybrid_k = predict_best_k(job, idle);
+        let oracle_ci = (0..candidates.len())
+            .min_by(|&a, &b| avg_by_k[a].partial_cmp(&avg_by_k[b]).unwrap())
+            .expect("at least one candidate");
+        HybridPoint {
+            idle,
+            reconfig_secs,
+            linger_full_secs: avg(job.cluster),
+            hybrid_k,
+            hybrid_secs: avg(hybrid_k),
+            oracle_k: candidates[oracle_ci],
+            oracle_secs: avg_by_k[oracle_ci],
+        }
+    })
 }
 
 #[cfg(test)]

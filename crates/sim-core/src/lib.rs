@@ -13,6 +13,9 @@
 //!   tie-breaking and a generic event loop;
 //! * [`RngFactory`] — per-component deterministic random streams, enabling
 //!   common-random-number comparison of scheduling policies;
+//! * [`NodeIndex`] — incrementally maintained node-id sets (two-level
+//!   bitsets) that replace per-window full scans in the cluster
+//!   simulators;
 //! * [`par_map_indexed`] — deterministic fan-out of independent
 //!   simulation units (replications, sweep points) across scoped worker
 //!   threads, with results in index order at any thread count.
@@ -43,12 +46,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod index;
 mod par;
 mod queue;
 mod rng;
 mod time;
 
 pub use engine::{Context, Engine, RunOutcome, Simulation};
+pub use index::NodeIndex;
 pub use par::{default_jobs, par_map_indexed, set_default_jobs};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::{domains, RngFactory, SimRng, StreamId};

@@ -1,7 +1,7 @@
 //! Property tests of the simulation substrate.
 
 use linger_sim_core::{
-    Context, Engine, EventQueue, RngFactory, SimDuration, SimTime, Simulation,
+    Context, Engine, EventQueue, NodeIndex, RngFactory, SimDuration, SimTime, Simulation,
 };
 use proptest::prelude::*;
 use rand::Rng;
@@ -100,5 +100,82 @@ proptest! {
         let fired = eng.events_handled();
         let expect = (horizon_ms / 100 + 1).min(201);
         prop_assert_eq!(fired, expect);
+    }
+
+    #[test]
+    fn node_index_matches_naive_scan_after_every_op(
+        capacity in 1usize..600,
+        ops in prop::collection::vec((0usize..600, 0u8..3), 0..300),
+    ) {
+        // The incremental index must agree with a naive Vec<bool> full
+        // scan after *every* mutation: membership, length, ascending
+        // iteration order, and min/max queries.
+        let mut idx = NodeIndex::new(capacity);
+        let mut naive = vec![false; capacity];
+        for (raw_id, op) in ops {
+            let id = raw_id % capacity;
+            match op {
+                0 => {
+                    let newly = idx.insert(id);
+                    prop_assert_eq!(newly, !naive[id]);
+                    naive[id] = true;
+                }
+                1 => {
+                    let was = idx.remove(id);
+                    prop_assert_eq!(was, naive[id]);
+                    naive[id] = false;
+                }
+                _ => {
+                    naive[id] = !naive[id];
+                    idx.set(id, naive[id]);
+                }
+            }
+            let scan: Vec<usize> = (0..capacity).filter(|&i| naive[i]).collect();
+            prop_assert_eq!(idx.len(), scan.len());
+            prop_assert_eq!(idx.iter().collect::<Vec<_>>(), scan.clone());
+            prop_assert_eq!(idx.first(), scan.first().copied());
+            prop_assert_eq!(idx.last(), scan.last().copied());
+            prop_assert_eq!(idx.contains(id), naive[id]);
+        }
+    }
+
+    #[test]
+    fn node_index_intersection_matches_naive_scan(
+        capacity in 1usize..600,
+        free_bits in prop::collection::vec(any::<bool>(), 600),
+        idle_bits in prop::collection::vec(any::<bool>(), 600),
+    ) {
+        // free ∧ idle — the placement query both cluster simulators run
+        // per window — must match the naive double-filter scan.
+        let mut free = NodeIndex::new(capacity);
+        let mut idle = NodeIndex::new(capacity);
+        for i in 0..capacity {
+            free.set(i, free_bits[i]);
+            idle.set(i, idle_bits[i]);
+        }
+        let scan: Vec<usize> =
+            (0..capacity).filter(|&i| free_bits[i] && idle_bits[i]).collect();
+        prop_assert_eq!(free.iter_and(&idle).collect::<Vec<_>>(), scan.clone());
+        prop_assert_eq!(free.count_and(&idle), scan.len());
+        prop_assert_eq!(free.last_and(&idle), scan.last().copied());
+    }
+
+    #[test]
+    fn node_index_pop_last_drains_descending(
+        capacity in 1usize..300,
+        bits in prop::collection::vec(any::<bool>(), 300),
+    ) {
+        let mut idx = NodeIndex::new(capacity);
+        for (i, &bit) in bits.iter().enumerate().take(capacity) {
+            idx.set(i, bit);
+        }
+        let mut expected: Vec<usize> = (0..capacity).filter(|&i| bits[i]).collect();
+        expected.reverse();
+        let mut got = Vec::new();
+        while let Some(id) = idx.pop_last() {
+            got.push(id);
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert!(idx.is_empty());
     }
 }

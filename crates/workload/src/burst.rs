@@ -6,10 +6,12 @@
 //! the model of paper Sec 3.1. Burst durations are drawn from the
 //! two-moment fits of the interpolated bucket parameters.
 
+use crate::fit_table::BurstFitTable;
 use crate::params::{BucketParams, BurstParamTable};
 use linger_sim_core::{SimDuration, SimRng};
-use linger_stats::{fit_two_moments, Distribution, Fitted};
+use linger_stats::{Distribution, Fitted};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Whether the workstation owner's processes are running or blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -50,36 +52,52 @@ pub const MIN_BURST: SimDuration = SimDuration::from_micros(10);
 ///
 /// The target utilization can be changed at any time (the two-level
 /// generator of Fig 6 updates it from the coarse trace every 2 seconds);
-/// the fitted distributions are rebuilt lazily on change.
+/// the fitted distributions come from a shared precomputed
+/// [`BurstFitTable`], so a retarget is a table lookup, not a refit.
 #[derive(Debug, Clone)]
 pub struct BurstGenerator {
-    table: BurstParamTable,
+    fits: Arc<BurstFitTable>,
     utilization: f64,
+    /// Interpolated params the current distributions were fitted from;
+    /// retargets that land on identical params skip the lookup entirely.
+    last_params: Option<BucketParams>,
     run_dist: Option<Fitted>,
     idle_dist: Option<Fitted>,
     next_kind: BurstKind,
+    rebuilds: u64,
 }
 
 impl BurstGenerator {
-    /// A generator over `table` starting at the given utilization.
+    /// A generator over a shared fit table, starting at the given
+    /// utilization.
     ///
     /// The first burst produced is an idle burst (a fresh node is between
     /// owner demands); the sequence alternates thereafter.
-    pub fn new(table: BurstParamTable, utilization: f64) -> Self {
+    pub fn new(fits: Arc<BurstFitTable>, utilization: f64) -> Self {
         let mut g = BurstGenerator {
-            table,
+            fits,
             utilization: -1.0,
+            last_params: None,
             run_dist: None,
             idle_dist: None,
             next_kind: BurstKind::Idle,
+            rebuilds: 0,
         };
         g.set_utilization(utilization);
         g
     }
 
-    /// Convenience: paper-calibrated table.
+    /// A generator over a private fit table built from `table`.
+    ///
+    /// Prefer [`Self::new`] with a shared [`BurstFitTable`] when many
+    /// generators use the same parameters (one per cluster node).
+    pub fn from_table(table: BurstParamTable, utilization: f64) -> Self {
+        Self::new(Arc::new(BurstFitTable::new(table)), utilization)
+    }
+
+    /// Convenience: the process-wide shared paper-calibrated table.
     pub fn paper(utilization: f64) -> Self {
-        Self::new(BurstParamTable::paper_calibrated(), utilization)
+        Self::new(BurstFitTable::paper_shared(), utilization)
     }
 
     /// Current target utilization.
@@ -87,18 +105,40 @@ impl BurstGenerator {
         self.utilization
     }
 
+    /// The shared fit table this generator draws from.
+    pub fn fit_table(&self) -> &Arc<BurstFitTable> {
+        &self.fits
+    }
+
+    /// How many times the fitted distributions were actually replaced
+    /// (diagnostics; retargets skipped as no-ops don't count).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
     /// Retarget the generator to a new utilization level (Fig 6's
     /// "look up appropriate parameters based on the current coarse-grain
     /// resource data").
+    ///
+    /// The rebuild is skipped both when `u` is unchanged and when the new
+    /// utilization interpolates to exactly the parameters already in
+    /// effect (e.g. consecutive out-of-range values that clamp to the
+    /// same end bucket, or a table with identical adjacent buckets).
     pub fn set_utilization(&mut self, u: f64) {
         let u = u.clamp(0.0, 1.0);
         if (u - self.utilization).abs() < 1e-12 {
             return;
         }
         self.utilization = u;
-        let p: BucketParams = self.table.interpolate(u);
-        self.run_dist = fit_or_none(p.run_mean, p.run_var);
-        self.idle_dist = fit_or_none(p.idle_mean, p.idle_var);
+        let p: BucketParams = self.fits.params().interpolate(u);
+        if self.last_params == Some(p) {
+            return;
+        }
+        let (run, idle) = self.fits.fits_for(u);
+        self.run_dist = run;
+        self.idle_dist = idle;
+        self.last_params = Some(p);
+        self.rebuilds += 1;
     }
 
     /// The kind of the next burst [`Self::next_burst`] will return.
@@ -135,14 +175,6 @@ impl BurstGenerator {
             kind,
             duration: SimDuration::from_secs_f64(secs).max(MIN_BURST),
         }
-    }
-}
-
-fn fit_or_none(mean: f64, var: f64) -> Option<Fitted> {
-    if mean <= 0.0 {
-        None
-    } else {
-        Some(fit_two_moments(mean, var))
     }
 }
 
@@ -273,5 +305,52 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(g1.next_burst(&mut r1), g2.next_burst(&mut r2));
         }
+    }
+
+    #[test]
+    fn shared_and_private_fit_tables_agree() {
+        // The process-wide shared table and a freshly built private one
+        // must generate identical bursts through retargets — including at
+        // interpolated (cache-path) utilization levels.
+        let mut g1 = BurstGenerator::paper(0.37);
+        let mut g2 = BurstGenerator::from_table(BurstParamTable::paper_calibrated(), 0.37);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for i in 0..1000 {
+            if i % 100 == 0 {
+                let u = [0.33, 0.871, 0.15, 0.5002][i / 100 % 4];
+                g1.set_utilization(u);
+                g2.set_utilization(u);
+            }
+            assert_eq!(g1.next_burst(&mut r1), g2.next_burst(&mut r2));
+        }
+    }
+
+    #[test]
+    fn identical_param_retargets_skip_rebuild() {
+        // Custom table where buckets 4..=8 (20%–40%) are identical: any
+        // utilization in that span interpolates to the same parameters,
+        // so retargets within it must not replace the distributions.
+        let mut buckets = *BurstParamTable::paper_calibrated().buckets();
+        for i in 5..=8 {
+            buckets[i] = buckets[4];
+        }
+        let t = BurstParamTable::from_buckets(buckets);
+        let mut g = BurstGenerator::from_table(t, 0.22);
+        assert_eq!(g.rebuilds(), 1);
+        g.set_utilization(0.31);
+        g.set_utilization(0.37);
+        assert_eq!(g.rebuilds(), 1, "identical interpolated params must skip the rebuild");
+        g.set_utilization(0.9);
+        assert_eq!(g.rebuilds(), 2, "leaving the flat span must rebuild");
+    }
+
+    #[test]
+    fn clamped_retargets_skip_rebuild() {
+        let mut g = BurstGenerator::paper(1.0);
+        assert_eq!(g.rebuilds(), 1);
+        g.set_utilization(1.7); // clamps to 1.0
+        g.set_utilization(42.0);
+        assert_eq!(g.rebuilds(), 1);
     }
 }

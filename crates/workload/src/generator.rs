@@ -14,7 +14,7 @@
 
 use crate::burst::{Burst, BurstGenerator};
 use crate::coarse::{CoarseTrace, SAMPLE_PERIOD_SECS};
-use crate::params::BurstParamTable;
+use crate::fit_table::BurstFitTable;
 use linger_sim_core::{domains, RngFactory, SimRng, SimTime};
 use rand::Rng;
 use std::sync::Arc;
@@ -31,11 +31,11 @@ pub struct LocalWorkload {
 
 impl LocalWorkload {
     /// A workload replaying `trace` from sample `offset`, with fine-grain
-    /// bursts drawn from `table` using `rng`.
+    /// bursts drawn from the shared fit table `fits` using `rng`.
     pub fn new(
         trace: Arc<CoarseTrace>,
         offset: usize,
-        table: BurstParamTable,
+        fits: Arc<BurstFitTable>,
         rng: SimRng,
     ) -> Self {
         assert!(!trace.is_empty(), "cannot replay an empty trace");
@@ -43,7 +43,7 @@ impl LocalWorkload {
         LocalWorkload {
             trace,
             offset,
-            gen: BurstGenerator::new(table, u0),
+            gen: BurstGenerator::new(fits, u0),
             rng,
             position: SimTime::ZERO,
         }
@@ -55,12 +55,20 @@ impl LocalWorkload {
         trace: Arc<CoarseTrace>,
         factory: &RngFactory,
         node_id: u64,
-        table: BurstParamTable,
+        fits: Arc<BurstFitTable>,
     ) -> Self {
-        let mut off_rng = factory.stream_for(domains::TRACE_OFFSET, node_id);
-        let offset = (off_rng.random::<u64>() % trace.len() as u64) as usize;
+        let offset = Self::random_offset(&trace, factory, node_id);
         let rng = factory.stream_for(domains::FINE_BURSTS, node_id);
-        Self::new(trace, offset, table, rng)
+        Self::new(trace, offset, fits, rng)
+    }
+
+    /// The start offset [`Self::with_random_offset`] would draw for
+    /// `node_id` — same stream, same draw — without paying for workload
+    /// construction. Simulators that only track coarse node state use
+    /// this to skip building per-node burst generators entirely.
+    pub fn random_offset(trace: &CoarseTrace, factory: &RngFactory, node_id: u64) -> usize {
+        let mut off_rng = factory.stream_for(domains::TRACE_OFFSET, node_id);
+        (off_rng.random::<u64>() % trace.len() as u64) as usize
     }
 
     /// The trace sample index in effect at simulated time `t`.
@@ -125,7 +133,7 @@ mod tests {
         LocalWorkload::new(
             trace,
             offset,
-            BurstParamTable::paper_calibrated(),
+            BurstFitTable::paper_shared(),
             f.stream_for(domains::FINE_BURSTS, 0),
         )
     }
@@ -185,13 +193,16 @@ mod tests {
         };
         let f = RngFactory::new(9);
         let trace = Arc::new(cfg.synthesize(&f, 0));
-        let table = BurstParamTable::paper_calibrated();
-        let a = LocalWorkload::with_random_offset(trace.clone(), &f, 4, table.clone());
-        let b = LocalWorkload::with_random_offset(trace.clone(), &f, 4, table.clone());
+        let fits = BurstFitTable::paper_shared();
+        let a = LocalWorkload::with_random_offset(trace.clone(), &f, 4, fits.clone());
+        let b = LocalWorkload::with_random_offset(trace.clone(), &f, 4, fits.clone());
         assert_eq!(a.offset(), b.offset());
-        let c = LocalWorkload::with_random_offset(trace, &f, 5, table);
+        let c = LocalWorkload::with_random_offset(trace.clone(), &f, 5, fits);
         // Different nodes almost surely start elsewhere.
         assert_ne!(a.offset(), c.offset());
+        // The standalone helper draws the very same offsets.
+        assert_eq!(LocalWorkload::random_offset(&trace, &f, 4), a.offset());
+        assert_eq!(LocalWorkload::random_offset(&trace, &f, 5), c.offset());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! * [`params`] — the 21-bucket fine-grain burst parameter table (Fig 3)
 //!   with the paper's linear interpolation;
 //! * [`burst`] — the alternating run/idle burst process;
+//! * [`fit_table`] — precomputed, `Arc`-shared two-moment fits of the
+//!   bucket table (one fit per bucket plus an interpolation memo cache);
 //! * [`dispatch`] — synthetic scheduler-dispatch traces (substitution for
 //!   the paper's AIX recordings; DESIGN.md §3.1);
 //! * [`coarse`] — coarse 2-second traces, the recruitment-threshold idle
@@ -49,6 +51,7 @@ pub mod analysis;
 pub mod burst;
 pub mod coarse;
 pub mod dispatch;
+pub mod fit_table;
 pub mod generator;
 pub mod io;
 pub mod memory;
@@ -63,6 +66,7 @@ pub use coarse::{
     SAMPLE_PERIOD_SECS, TOTAL_MEMORY_KB,
 };
 pub use dispatch::DispatchTrace;
+pub use fit_table::{BurstFitTable, FitPair};
 pub use generator::LocalWorkload;
 pub use memory::{TwoPoolMemory, PAGE_KB};
 pub use paging::{Owner, PagingConfig, PagingSim, PagingStats};

@@ -12,7 +12,7 @@ use linger_sim_core::{domains, RngFactory, SimDuration, SimTime};
 use linger_stats::Distribution;
 use linger_workload::{
     analysis::{CoarseAggregates, FineGrainAnalysis},
-    BurstKind, BurstParamTable, CoarseTraceConfig, DispatchTrace, LocalWorkload, TwoPoolMemory,
+    BurstFitTable, BurstKind, CoarseTraceConfig, DispatchTrace, LocalWorkload, TwoPoolMemory,
 };
 use std::sync::Arc;
 
@@ -80,7 +80,7 @@ fn main() {
     let mut wl = LocalWorkload::new(
         trace,
         0,
-        BurstParamTable::paper_calibrated(),
+        BurstFitTable::paper_shared(),
         factory.stream_for(domains::FINE_BURSTS, 99),
     );
     let mut bursts = 0u64;

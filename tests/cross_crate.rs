@@ -7,7 +7,7 @@ use linger::{JobFamily, MigrationCostModel, Policy};
 use linger_cluster::{ClusterConfig, ClusterSim, JobState};
 use linger_node::{steal_rate, FineGrainCpu};
 use linger_sim_core::{domains, RngFactory, SimDuration, SimTime};
-use linger_workload::{BurstKind, BurstParamTable, CoarseTraceConfig, LocalWorkload};
+use linger_workload::{BurstFitTable, BurstKind, BurstParamTable, CoarseTraceConfig, LocalWorkload};
 use std::sync::Arc;
 
 fn small_cfg(policy: Policy, seed: u64) -> ClusterConfig {
@@ -124,7 +124,7 @@ fn trace_driven_executor_matches_trace_utilization() {
     let wl = LocalWorkload::new(
         trace.clone(),
         0,
-        BurstParamTable::paper_calibrated(),
+        BurstFitTable::paper_shared(),
         f.stream_for(domains::FINE_BURSTS, 2),
     );
     let mut cpu = FineGrainCpu::new(wl, SimDuration::from_micros(100));
@@ -173,7 +173,7 @@ fn two_level_stream_is_deterministic_across_crates() {
             trace,
             &f,
             0,
-            BurstParamTable::paper_calibrated(),
+            BurstFitTable::paper_shared(),
         );
         (0..500)
             .map(|_| {
