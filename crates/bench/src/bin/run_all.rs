@@ -9,6 +9,7 @@
 
 use linger_bench::output::{note_artifact, HarnessArgs};
 use linger_bench::*;
+use linger_workload::TraceLibrary;
 
 struct Check {
     name: &'static str,
@@ -95,8 +96,10 @@ fn main() {
     });
 
     println!("running Figs 7+8 (cluster; this is the long one) …");
+    let cache_before_f7 = TraceLibrary::global().stats();
     let f7 = timings.time("fig07", || fig07(args.seed, args.fast));
     note_artifact("fig07", write_json("fig07", &f7));
+    let cache_after_f7 = TraceLibrary::global().stats();
     let (ll, lf, ie, pm) = (&f7.workload1[0], &f7.workload1[1], &f7.workload1[2], &f7.workload1[3]);
     checks.push(Check {
         name: "Fig 7 w1: LL/LF cut avg completion vs IE/PM",
@@ -287,6 +290,23 @@ fn main() {
         ok: ns_hi <= 2.0 * ns_lo,
     });
 
+    // Workload-realization cache: the fig07 policy sweeps must reuse one
+    // synthesis across their 4 policies × 2 workloads (the tentpole claim
+    // of the realization cache — 1 miss + 7 hits when warm from scratch).
+    let f7_hits = cache_after_f7.hits - cache_before_f7.hits;
+    let f7_misses = cache_after_f7.misses - cache_before_f7.misses;
+    let f7_lookups = (f7_hits + f7_misses).max(1);
+    let f7_hit_rate = f7_hits as f64 / f7_lookups as f64;
+    checks.push(Check {
+        name: "Perf: realization cache hit rate on the fig07 policy sweeps",
+        paper: ">=75% hits (CRN: policies share one realization)".into(),
+        measured: format!(
+            "{f7_hits} hits / {f7_misses} misses ({:.0}%)",
+            f7_hit_rate * 100.0
+        ),
+        ok: f7_hit_rate >= 0.75 || cache_after_f7.bypasses > cache_before_f7.bypasses,
+    });
+
     let ep = timings.time("ext_predictor", || linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 }));
     note_artifact("ext_predictor", write_json("ext_predictor", &ep));
     let pareto_best = ep
@@ -322,6 +342,19 @@ fn main() {
         args.seed,
         if args.fast { " (fast mode)" } else { "" }
     );
+    timings.trace_cache = Some(TraceLibrary::global().stats());
+    // Pre-cache wall-clock of the sections the realization cache targets,
+    // recorded on the reference machine immediately before the change
+    // (seed 1998, --jobs default). Machine-dependent — informational.
+    let (fig07_before, scaling_before) =
+        if args.fast { (0.1304, 2.6524) } else { (0.5604, 5.1005) };
+    timings.baselines = [
+        SectionBaseline::compare("fig07", &timings.sections, fig07_before),
+        SectionBaseline::compare("ext_scaling", &timings.sections, scaling_before),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
     match timings.write("BENCH_runall.json") {
         Ok(()) => println!("[wrote BENCH_runall.json]"),
         Err(e) => eprintln!("[warn: could not write BENCH_runall.json: {e}]"),

@@ -13,6 +13,7 @@ use linger_stats::Distribution;
 use linger_workload::{
     analysis::{CoarseAggregates, FineGrainAnalysis},
     BurstFitTable, BurstKind, BurstParamTable, CoarseTraceConfig, DispatchTrace, LocalWorkload,
+    TraceLibrary,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -603,10 +604,11 @@ pub fn scaling_ns_per_node_window(timings: &[ScalingTiming], nodes: usize) -> f6
 /// thousands of workstations.
 ///
 /// Cells run serially so the timings are uncontended; inside a cell the
-/// trace synthesis fans out deterministically. Traces and offsets depend
-/// only on `(seed, node id)`, exactly as [`linger_cluster::ClusterSim::new`]
-/// derives them, so they are synthesized once per node count and shared
-/// (`Arc`) across the four policies.
+/// trace synthesis fans out deterministically. Traces, offsets, and the
+/// window table depend only on `(trace config, seed, nodes)`, exactly as
+/// [`linger_cluster::ClusterSim::new`] derives them, so each node count
+/// fetches one shared realization from the [`TraceLibrary`] and the four
+/// policies (and every timing replicate) reuse it.
 pub fn ext_scaling_at(
     seed: u64,
     node_counts: &[usize],
@@ -619,19 +621,15 @@ pub fn ext_scaling_at(
         duration: SimDuration::from_secs(3600),
         ..Default::default()
     };
-    let runner = crate::Runner::new();
     let mut points = Vec::new();
     let mut timings = Vec::new();
     for &nodes in node_counts {
         let t0 = std::time::Instant::now();
-        let factory = RngFactory::new(seed);
-        let traces: Vec<Arc<linger_workload::CoarseTrace>> =
-            runner.run(nodes, |n| Arc::new(trace_cfg.synthesize(&factory, n as u64)));
-        let offsets: Vec<usize> = traces
-            .iter()
-            .enumerate()
-            .map(|(n, t)| LocalWorkload::random_offset(t, &factory, n as u64))
-            .collect();
+        // One realization (traces + offsets + window table) per node
+        // count, shared across all four policies and every timing
+        // replicate below — and with every other driver that asks for
+        // the same `(trace_cfg, seed, nodes)` key.
+        let real = TraceLibrary::global().realize(&trace_cfg, seed, nodes);
         let shared_setup = t0.elapsed().as_secs_f64() / Policy::ALL.len() as f64;
         for policy in Policy::ALL {
             let t1 = std::time::Instant::now();
@@ -654,11 +652,7 @@ pub fn ext_scaling_at(
                     cfg.seed = seed;
                     cfg.trace = trace_cfg.clone();
                     cfg.mode = linger_cluster::RunMode::Throughput { horizon };
-                    linger_cluster::ClusterSim::with_traces(
-                        cfg,
-                        traces.clone(),
-                        offsets.clone(),
-                    )
+                    linger_cluster::ClusterSim::with_realization(cfg, &real)
                 })
                 .collect();
             let setup_secs = shared_setup + t1.elapsed().as_secs_f64();

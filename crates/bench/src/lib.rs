@@ -18,4 +18,4 @@ pub mod runner;
 pub use chart::AsciiChart;
 pub use experiments::*;
 pub use output::{write_json, Table};
-pub use runner::{RunTimings, Runner, SectionTiming};
+pub use runner::{RunTimings, Runner, SectionBaseline, SectionTiming};

@@ -15,7 +15,8 @@
 //! module adds the harness-level vocabulary (replication seeding, timed
 //! sections for `BENCH_runall.json`).
 
-use linger_sim_core::par_map_indexed;
+use linger_sim_core::{par_map_indexed, replication_seed};
+use linger_workload::TraceCacheStats;
 use serde::Serialize;
 
 /// A deterministic fan-out executor for independent experiment units.
@@ -51,15 +52,17 @@ impl Runner {
         par_map_indexed(n, self.jobs, f)
     }
 
-    /// Run `reps` replications whose seeds are `base_seed + index` — the
-    /// exact sequence a serial `for r in 0..reps` loop would use, so
+    /// Run `reps` replications whose seeds follow
+    /// [`replication_seed`]`(base_seed, index)` — the exact sequence a
+    /// serial `for r in 0..reps` loop would use (wrapping at `u64::MAX`;
+    /// see the seed-space contract in `sim-core::rng`), so
     /// common-random-number pairing across policies survives fan-out.
     pub fn replicate<U, F>(&self, base_seed: u64, reps: usize, f: F) -> Vec<U>
     where
         U: Send,
         F: Fn(u64) -> U + Sync,
     {
-        self.run(reps, |r| f(base_seed + r as u64))
+        self.run(reps, |r| f(replication_seed(base_seed, r as u64)))
     }
 }
 
@@ -87,8 +90,41 @@ pub struct RunTimings {
     /// including nanoseconds per node-window; empty when the sweep did
     /// not run.
     pub scaling: Vec<crate::experiments::ScalingTiming>,
+    /// End-of-run snapshot of the shared workload-realization cache
+    /// (hits, misses, bytes resident); `None` until recorded.
+    pub trace_cache: Option<TraceCacheStats>,
+    /// Recorded before→after wall-clock comparisons for sections whose
+    /// speedup a PR claims (machine-dependent; informational).
+    pub baselines: Vec<SectionBaseline>,
     /// Total wall-clock seconds.
     pub total_secs: f64,
+}
+
+/// A section's wall-clock against a recorded pre-change baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct SectionBaseline {
+    /// Section name (matches [`SectionTiming::name`]).
+    pub name: String,
+    /// Pre-change wall-clock seconds (recorded on the reference machine).
+    pub before_secs: f64,
+    /// This run's wall-clock seconds.
+    pub after_secs: f64,
+    /// `before_secs / after_secs` (> 1 is an improvement).
+    pub speedup: f64,
+}
+
+impl SectionBaseline {
+    /// Compare section `name`'s measured time in `sections` against a
+    /// recorded baseline. Returns `None` when the section did not run.
+    pub fn compare(name: &str, sections: &[SectionTiming], before_secs: f64) -> Option<Self> {
+        let after_secs = sections.iter().find(|s| s.name == name)?.secs;
+        Some(SectionBaseline {
+            name: name.to_string(),
+            before_secs,
+            after_secs,
+            speedup: if after_secs > 0.0 { before_secs / after_secs } else { 0.0 },
+        })
+    }
 }
 
 impl RunTimings {

@@ -16,8 +16,9 @@ use crate::config::ClusterConfig;
 use crate::sim::ClusterSim;
 use crate::state::StateBreakdown;
 use linger::{JobFamily, Policy};
-use linger_sim_core::{par_map_indexed, SimTime};
+use linger_sim_core::{par_map_indexed, replication_seed, SimTime};
 use linger_stats::Online;
+use linger_workload::TraceLibrary;
 
 use serde::{Deserialize, Serialize};
 
@@ -78,12 +79,17 @@ impl BreakdownSecs {
 
 /// Evaluate one policy on one workload: a family run (completion metrics)
 /// plus a constant-load run (throughput).
+///
+/// Both runs replay the same owner-workload realization, fetched once
+/// from the shared [`TraceLibrary`] — across a [`policy_comparison`] the
+/// four policies reuse one synthesis (1 miss + 3 hits).
 pub fn evaluate_policy(policy: Policy, family: JobFamily, nodes: usize, seed: u64) -> PolicyMetrics {
     let mut cfg = ClusterConfig::paper(policy, family.clone());
     cfg.nodes = nodes;
     cfg.seed = seed;
+    let real = TraceLibrary::global().realize(&cfg.trace, cfg.seed, cfg.nodes);
 
-    let mut fam_sim = ClusterSim::new(cfg.clone());
+    let mut fam_sim = ClusterSim::with_realization(cfg.clone(), &real);
     let finished = fam_sim.run();
 
     let mut completion = Online::new();
@@ -107,8 +113,10 @@ pub fn evaluate_policy(policy: Policy, family: JobFamily, nodes: usize, seed: u6
         migrations += j.migrations as u64;
     }
 
+    // The throughput run varies only the termination mode — same trace
+    // config, seed, and node count, hence the same realization.
     let tp_cfg = cfg.with_throughput_mode();
-    let mut tp_sim = ClusterSim::new(tp_cfg);
+    let mut tp_sim = ClusterSim::with_realization(tp_cfg, &real);
     tp_sim.run();
     let horizon = tp_sim.now().as_secs_f64();
     let throughput = if horizon > 0.0 {
@@ -291,9 +299,10 @@ pub struct ReplicatedMetrics {
 
 /// Replicate [`evaluate_policy`] over `reps` master seeds and report
 /// means with confidence intervals — the missing error bars of Fig 7.
-/// Replication `r` uses seed `base_seed + r`, identical across policies
-/// (common random numbers), so policy *differences* are tighter than the
-/// marginal intervals suggest.
+/// Replication `r` uses seed [`replication_seed`]`(base_seed, r)` (a
+/// wrapping walk — see the seed-space contract in `sim-core::rng`),
+/// identical across policies (common random numbers), so policy
+/// *differences* are tighter than the marginal intervals suggest.
 ///
 /// Replications are independent and fan out across worker threads; the
 /// seed of replication `r` depends only on `r`, so the aggregate is
@@ -308,7 +317,7 @@ pub fn evaluate_policy_replicated(
 ) -> ReplicatedMetrics {
     assert!(reps >= 2, "need at least two replications for an interval");
     let runs = par_map_indexed(reps as usize, None, |r| {
-        evaluate_policy(policy, family.clone(), nodes, base_seed + r as u64)
+        evaluate_policy(policy, family.clone(), nodes, replication_seed(base_seed, r as u64))
     });
     let mut avg = Online::new();
     let mut tput = Online::new();
@@ -359,6 +368,16 @@ mod replication_tests {
             ll.avg_completion_secs.ci95,
             ie.avg_completion_secs.ci95
         );
+    }
+
+    #[test]
+    fn replication_seeds_wrap_near_the_top_of_the_seed_space() {
+        // Before the explicit wrapping walk this overflowed (panicking in
+        // debug builds) for base seeds near u64::MAX.
+        let fam = JobFamily::uniform(2, SimDuration::from_secs(60), 8 * 1024);
+        let r = evaluate_policy_replicated(Policy::LingerLonger, fam, 4, u64::MAX - 1, 3);
+        assert_eq!(r.replications, 3);
+        assert!(r.avg_completion_secs.mean.is_finite());
     }
 
     #[test]

@@ -17,34 +17,16 @@ use crate::state::{JobRecord, JobState, NodeId, NodeState};
 use linger::cost::should_migrate;
 use linger::{JobId, JobSpec, Policy};
 use linger_node::steal_rate;
-use linger_sim_core::{NodeIndex, RngFactory, SimDuration, SimTime};
-use linger_workload::{CoarseTrace, LocalWorkload, TwoPoolMemory, SAMPLE_PERIOD_SECS};
+use linger_sim_core::{NodeIndex, SimDuration, SimTime};
+use linger_workload::{
+    CoarseTrace, TraceLibrary, TwoPoolMemory, WindowTable, WorkloadRealization,
+    SAMPLE_PERIOD_SECS,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One simulation window (= the coarse-trace sampling period).
 pub const WINDOW: SimDuration = SimDuration::from_secs(SAMPLE_PERIOD_SECS);
-
-/// One node's state in one window, packed for the window-major refresh.
-#[derive(Clone, Copy)]
-struct WindowCell {
-    cpu: f64,
-    mem_kb: u32,
-    idle: bool,
-}
-
-/// Window-major node-state table: row `w % period` holds every node's
-/// `(cpu, idle, mem)` for window `w`, with each node's random trace
-/// offset already baked in. The per-window refresh then walks one
-/// contiguous row instead of chasing `2·nodes` scattered trace arrays —
-/// the difference between cache hits and misses at thousands of nodes.
-/// Built only when every trace shares one period (always true for
-/// synthesized libraries); irregular hand-built traces fall back to
-/// per-trace lookups.
-struct WindowTable {
-    period: usize,
-    cells: Vec<WindowCell>,
-}
 
 /// The cluster simulation.
 pub struct ClusterSim {
@@ -87,28 +69,39 @@ pub struct ClusterSim {
     /// transfer progress and arrivals never rescan the ever-growing job
     /// table (throughput mode appends a record per respawn).
     migrating: Vec<usize>,
-    /// Window-major `(cpu, idle, mem)` table; `None` when the traces
-    /// have unequal periods.
-    window_table: Option<WindowTable>,
+    /// Window-major `(cpu, idle, mem)` table, shared with every other
+    /// simulator over the same realization; `None` when the traces have
+    /// unequal periods.
+    window_table: Option<Arc<WindowTable>>,
 }
 
 impl ClusterSim {
-    /// Build the simulation: synthesize one trace per node and queue the
-    /// whole family at its arrival times.
+    /// Build the simulation: fetch (or synthesize) the owner-workload
+    /// realization for `(cfg.trace, cfg.seed, cfg.nodes)` from the shared
+    /// [`TraceLibrary`] and queue the whole family at its arrival times.
+    ///
+    /// Common random numbers make the realization independent of policy
+    /// and cost parameters, so repeated constructions across a sweep
+    /// reuse one synthesis; results are identical either way.
     pub fn new(cfg: ClusterConfig) -> Self {
-        let factory = RngFactory::new(cfg.seed);
-        let traces: Vec<Arc<CoarseTrace>> = (0..cfg.nodes)
-            .map(|n| Arc::new(cfg.trace.synthesize(&factory, n as u64)))
-            .collect();
-        // Reuse LocalWorkload's offset convention for determinism (the
-        // same TRACE_OFFSET stream draw, without building a per-node
-        // burst generator the window-granular simulator never samples).
-        let offsets: Vec<usize> = traces
-            .iter()
-            .enumerate()
-            .map(|(n, t)| LocalWorkload::random_offset(t, &factory, n as u64))
-            .collect();
-        Self::with_traces(cfg, traces, offsets)
+        let real = TraceLibrary::global().realize(&cfg.trace, cfg.seed, cfg.nodes);
+        Self::with_realization(cfg, &real)
+    }
+
+    /// Build the simulation over a shared workload realization (cached or
+    /// freshly synthesized) — traces, offsets, and the prebuilt window
+    /// table are shared by `Arc`, never copied per policy.
+    ///
+    /// # Panics
+    /// If the realization's node count differs from `cfg.nodes`.
+    pub fn with_realization(cfg: ClusterConfig, real: &WorkloadRealization) -> Self {
+        assert_eq!(real.nodes(), cfg.nodes, "realization must cover cfg.nodes");
+        Self::assemble(
+            cfg,
+            real.traces().to_vec(),
+            real.offsets().to_vec(),
+            real.window_table().cloned(),
+        )
     }
 
     /// Build the simulation over explicit per-node traces and start
@@ -120,6 +113,16 @@ impl ClusterSim {
         cfg: ClusterConfig,
         traces: Vec<Arc<CoarseTrace>>,
         offsets: Vec<usize>,
+    ) -> Self {
+        let window_table = WindowTable::build(&traces, &offsets).map(Arc::new);
+        Self::assemble(cfg, traces, offsets, window_table)
+    }
+
+    fn assemble(
+        cfg: ClusterConfig,
+        traces: Vec<Arc<CoarseTrace>>,
+        offsets: Vec<usize>,
+        window_table: Option<Arc<WindowTable>>,
     ) -> Self {
         assert_eq!(traces.len(), cfg.nodes, "one trace per node");
         assert_eq!(offsets.len(), cfg.nodes, "one offset per node");
@@ -136,24 +139,6 @@ impl ClusterSim {
                 }
             })
             .collect();
-        let period = nodes.first().map(|n| n.trace.len()).unwrap_or(0);
-        let window_table = if period > 0 && nodes.iter().all(|n| n.trace.len() == period) {
-            let mut cells = Vec::with_capacity(period * nodes.len());
-            for w in 0..period {
-                for node in &nodes {
-                    let i = node.sample_index(w);
-                    let s = node.trace.sample(i);
-                    cells.push(WindowCell {
-                        cpu: s.cpu,
-                        mem_kb: s.mem_used_kb,
-                        idle: node.trace.is_idle(i),
-                    });
-                }
-            }
-            Some(WindowTable { period, cells })
-        } else {
-            None
-        };
         let jobs: Vec<JobRecord> = cfg.family.jobs().iter().map(|s| JobRecord::new(*s)).collect();
         let queue = (0..jobs.len()).collect();
         let next_job_id = jobs.len() as u32;
@@ -248,8 +233,7 @@ impl ClusterSim {
         // values the per-trace lookups would return.)
         self.free_idle.clear();
         if let Some(tbl) = &self.window_table {
-            let n = self.nodes.len();
-            let row = &tbl.cells[(w % tbl.period) * n..(w % tbl.period) * n + n];
+            let row = tbl.row(w);
             for (ni, c) in row.iter().enumerate() {
                 self.idle_w[ni] = c.idle;
                 self.cpu_w[ni] = c.cpu;

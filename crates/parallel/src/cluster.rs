@@ -24,10 +24,9 @@
 
 use linger_node::steal_rate;
 use linger_sim_core::{NodeIndex, RngFactory, SimDuration, SimTime};
-use linger_workload::{BurstParamTable, CoarseTrace, CoarseTraceConfig, LocalWorkload, SAMPLE_PERIOD_SECS};
+use linger_workload::{BurstParamTable, CoarseTraceConfig, TraceLibrary, SAMPLE_PERIOD_SECS};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// Placement/admission policy for parallel jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,14 +112,10 @@ pub fn simulate_parallel_cluster(
     let factory = RngFactory::new(cfg.seed);
     let table = BurstParamTable::paper_calibrated();
     let cs = SimDuration::from_micros(100);
-    let traces: Vec<Arc<CoarseTrace>> = (0..cfg.nodes)
-        .map(|n| Arc::new(cfg.trace.synthesize(&factory, n as u64)))
-        .collect();
-    // Same TRACE_OFFSET stream draw LocalWorkload would make, minus the
-    // burst-generator construction this window-granular sim never uses.
-    let offsets: Vec<usize> = (0..cfg.nodes)
-        .map(|n| LocalWorkload::random_offset(&traces[n], &factory, n as u64))
-        .collect();
+    // Traces, offsets, and the window-major table come from the shared
+    // realization cache — the same streams this code used to draw by
+    // hand, so the sweep's repeated calls reuse one synthesis.
+    let real = TraceLibrary::global().realize(&cfg.trace, cfg.seed, cfg.nodes);
 
     // Pre-draw the arrival sequence.
     let mut arr_rng = factory.stream_for(linger_sim_core::domains::JOBS, 0);
@@ -171,13 +166,23 @@ pub fn simulate_parallel_cluster(
             next_arrival += 1;
         }
 
-        // One trace lookup per node per window.
+        // One window-table row (or trace lookup) per node per window.
         idle.clear();
-        for n in 0..cfg.nodes {
-            if traces[n].is_idle(offsets[n] + w) {
-                idle.insert(n);
+        if let Some(tbl) = real.window_table() {
+            for (n, c) in tbl.row(w).iter().enumerate() {
+                if c.idle {
+                    idle.insert(n);
+                }
+                cpu_w[n] = c.cpu;
             }
-            cpu_w[n] = traces[n].sample(offsets[n] + w).cpu;
+        } else {
+            let (traces, offsets) = (real.traces(), real.offsets());
+            for n in 0..cfg.nodes {
+                if traces[n].is_idle(offsets[n] + w) {
+                    idle.insert(n);
+                }
+                cpu_w[n] = traces[n].sample(offsets[n] + w).cpu;
+            }
         }
 
         // Placement.

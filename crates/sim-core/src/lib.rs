@@ -56,5 +56,5 @@ pub use engine::{Context, Engine, RunOutcome, Simulation};
 pub use index::NodeIndex;
 pub use par::{default_jobs, par_map_indexed, set_default_jobs};
 pub use queue::{EventHandle, EventQueue};
-pub use rng::{domains, RngFactory, SimRng, StreamId};
+pub use rng::{domains, replication_seed, RngFactory, SimRng, StreamId};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

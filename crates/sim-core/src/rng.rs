@@ -86,6 +86,26 @@ pub mod domains {
     pub const MEMORY: u32 = 8;
 }
 
+/// The master seed for replication `r` of an experiment seeded `base`.
+///
+/// # Seed-space contract
+///
+/// Master seeds are plain `u64`s spanning the full 2⁶⁴ space; every
+/// stream derivation passes them through `splitmix64` (see
+/// `StreamId::mix`), so *adjacent* master seeds yield statistically
+/// independent streams and a simple `base + r` walk is a sound
+/// replication schedule. The addition is explicitly `wrapping_add`: for
+/// `base` near `u64::MAX` the walk wraps around to 0 by design (the seed
+/// space is a ring, and the mixer treats wrapped values like any
+/// others), rather than panicking in debug builds.
+///
+/// All replicated drivers (`evaluate_policy_replicated`, the bench
+/// `Runner::replicate`) must derive seeds through this function so the
+/// realization cache can key replication `r` by its logical seed alone.
+pub const fn replication_seed(base: u64, r: u64) -> u64 {
+    base.wrapping_add(r)
+}
+
 /// Factory deriving independent streams from a single master seed.
 #[derive(Debug, Clone, Copy)]
 pub struct RngFactory {
@@ -174,6 +194,16 @@ mod tests {
             let d = (w[0] ^ w[1]).count_ones();
             assert!(d > 10, "weak mixing: {d} differing bits");
         }
+    }
+
+    #[test]
+    fn replication_seeds_walk_and_wrap() {
+        assert_eq!(replication_seed(1998, 0), 1998);
+        assert_eq!(replication_seed(1998, 7), 2005);
+        // Near the top of the seed space the walk wraps instead of
+        // panicking — the space is a ring.
+        assert_eq!(replication_seed(u64::MAX, 0), u64::MAX);
+        assert_eq!(replication_seed(u64::MAX, 2), 1);
     }
 
     #[test]

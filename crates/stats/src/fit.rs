@@ -43,6 +43,45 @@ impl Fitted {
             Fitted::ErlangMix { .. } => "erlang-mix",
         }
     }
+
+    /// How many uniform draws one [`Distribution::sample`] call consumes,
+    /// when that count does not depend on the draws themselves.
+    ///
+    /// `Point` consumes none, `Exp` one, `Hyper` two (branch + stage).
+    /// `ErlangMix` consumes a data-dependent count (the branch draw picks
+    /// between a k-stage and a (k+1)-stage Erlang), so it returns `None`
+    /// and callers must fall back to per-sample dispatch.
+    pub fn fixed_draw_count(&self) -> Option<usize> {
+        match self {
+            Fitted::Point(_) => Some(0),
+            Fitted::Exp(_) => Some(1),
+            Fitted::Hyper(_) => Some(2),
+            Fitted::ErlangMix { .. } => None,
+        }
+    }
+
+    /// Transform pre-drawn uniforms into one sample, consuming exactly
+    /// [`Self::fixed_draw_count`] values from `us` in the order
+    /// [`Distribution::sample`] would draw them — so a slab filled from an
+    /// RNG and fed through this function reproduces the sequential samples
+    /// bit-for-bit and leaves the RNG in the identical state.
+    ///
+    /// # Panics
+    /// If the fit has no fixed draw count (`ErlangMix`) or `us` is shorter
+    /// than required.
+    pub fn sample_from_uniforms(&self, us: &[f64]) -> f64 {
+        match self {
+            Fitted::Point(d) => d.mean(),
+            Fitted::Exp(d) => -(1.0 - us[0]).ln() / d.rate(),
+            Fitted::Hyper(d) => {
+                let rate = if us[0] < d.p1() { d.rate1() } else { d.rate2() };
+                -(1.0 - us[1]).ln() / rate
+            }
+            Fitted::ErlangMix { .. } => {
+                panic!("ErlangMix has no fixed draw count; sample it directly")
+            }
+        }
+    }
 }
 
 impl Distribution for Fitted {
@@ -281,6 +320,30 @@ mod tests {
             }
             assert!(prev > 0.99, "cdf should approach 1, got {prev}");
         }
+    }
+
+    #[test]
+    fn sample_from_uniforms_matches_sequential_sampling() {
+        use rand::SeedableRng;
+        // Point (0 draws), hyper-exponential (2 draws), exponential (1 draw).
+        for (mean, var) in [(3.0, 0.0), (0.05, 0.02), (2.0, 4.0)] {
+            let f = fit_two_moments(mean, var);
+            let n = f.fixed_draw_count().expect("fixed-count family");
+            let mut seq = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+            let mut slab = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+            for _ in 0..256 {
+                let want = f.sample(&mut seq);
+                let us: Vec<f64> = (0..n).map(|_| slab.random()).collect();
+                let got = f.sample_from_uniforms(&us);
+                assert_eq!(want.to_bits(), got.to_bits(), "{want} vs {got}");
+            }
+            // Both paths must leave the stream in the identical state.
+            assert_eq!(seq.random::<u64>(), slab.random::<u64>());
+        }
+        assert!(
+            fit_two_moments(1.0, 0.4).fixed_draw_count().is_none(),
+            "ErlangMix draw count is data-dependent"
+        );
     }
 
     #[test]

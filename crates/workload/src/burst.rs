@@ -10,6 +10,7 @@ use crate::fit_table::BurstFitTable;
 use crate::params::{BucketParams, BurstParamTable};
 use linger_sim_core::{SimDuration, SimRng};
 use linger_stats::{Distribution, Fitted};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -65,6 +66,8 @@ pub struct BurstGenerator {
     idle_dist: Option<Fitted>,
     next_kind: BurstKind,
     rebuilds: u64,
+    /// Reused uniform slab for [`Self::next_bursts_into`].
+    slab: Vec<f64>,
 }
 
 impl BurstGenerator {
@@ -82,6 +85,7 @@ impl BurstGenerator {
             idle_dist: None,
             next_kind: BurstKind::Idle,
             rebuilds: 0,
+            slab: Vec::new(),
         };
         g.set_utilization(utilization);
         g
@@ -175,6 +179,64 @@ impl BurstGenerator {
             kind,
             duration: SimDuration::from_secs_f64(secs).max(MIN_BURST),
         }
+    }
+
+    /// Draw the next `n` bursts in one batch, replacing the contents of
+    /// `out`.
+    ///
+    /// When both phase distributions are present and have fixed uniform
+    /// draw counts ([`Fitted::fixed_draw_count`]), the generator pre-fills
+    /// one slab with every uniform the `n` sequential [`Self::next_burst`]
+    /// calls would have drawn — in the same order — and transforms the
+    /// slab burst-by-burst. The bursts and the final RNG state are
+    /// bit-identical to the sequential path; only the per-draw dispatch
+    /// overhead is gone. Degenerate phases (utilization 0 or 1) and
+    /// data-dependent fits (Erlang mixtures) fall back to per-burst draws.
+    pub fn next_bursts_into(&mut self, rng: &mut SimRng, n: usize, out: &mut Vec<Burst>) {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let fixed = match (&self.run_dist, &self.idle_dist) {
+            (Some(r), Some(i)) => r.fixed_draw_count().zip(i.fixed_draw_count()),
+            _ => None,
+        };
+        let Some((run_n, idle_n)) = fixed else {
+            for _ in 0..n {
+                out.push(self.next_burst(rng));
+            }
+            return;
+        };
+        // Kinds alternate from `next_kind`; the first kind occurs
+        // ceil(n/2) times and the other floor(n/2) times.
+        let first = self.next_kind;
+        let (first_n, second_n) = match first {
+            BurstKind::Run => (run_n, idle_n),
+            BurstKind::Idle => (idle_n, run_n),
+        };
+        let total = n.div_ceil(2) * first_n + (n / 2) * second_n;
+        self.slab.clear();
+        self.slab.reserve(total);
+        for _ in 0..total {
+            self.slab.push(rng.random());
+        }
+        out.reserve(n);
+        let mut pos = 0;
+        let mut kind = first;
+        for _ in 0..n {
+            let (dist, draws) = match kind {
+                BurstKind::Run => (self.run_dist.as_ref().unwrap(), run_n),
+                BurstKind::Idle => (self.idle_dist.as_ref().unwrap(), idle_n),
+            };
+            let secs = dist.sample_from_uniforms(&self.slab[pos..pos + draws]);
+            pos += draws;
+            out.push(Burst {
+                kind,
+                duration: SimDuration::from_secs_f64(secs).max(MIN_BURST),
+            });
+            kind = kind.flip();
+        }
+        self.next_kind = kind;
     }
 }
 
@@ -324,6 +386,57 @@ mod tests {
             }
             assert_eq!(g1.next_burst(&mut r1), g2.next_burst(&mut r2));
         }
+    }
+
+    #[test]
+    fn batched_bursts_match_sequential_bit_for_bit() {
+        let mut g1 = BurstGenerator::paper(0.37);
+        let mut g2 = BurstGenerator::paper(0.37);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut batch = Vec::new();
+        // Odd batch size exercises the uneven run/idle draw split; repeated
+        // batches exercise the carried-over alternation phase.
+        for _ in 0..7 {
+            g1.next_bursts_into(&mut r1, 33, &mut batch);
+            let seq: Vec<Burst> = (0..33).map(|_| g2.next_burst(&mut r2)).collect();
+            assert_eq!(batch, seq);
+        }
+        // Identical continuation: generator phase and RNG state both agree.
+        assert_eq!(g1.next_burst(&mut r1), g2.next_burst(&mut r2));
+    }
+
+    #[test]
+    fn batched_bursts_fall_back_for_degenerate_phases() {
+        let mut g = BurstGenerator::paper(0.0);
+        let mut out = Vec::new();
+        g.next_bursts_into(&mut rng(), 5, &mut out);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|b| b.kind == BurstKind::Idle));
+    }
+
+    #[test]
+    fn batched_bursts_fall_back_for_erlang_mix_fits() {
+        // Low-variance buckets fit to Erlang mixtures, which have no fixed
+        // draw count; the fallback must still match sequential generation.
+        let mut buckets = *BurstParamTable::paper_calibrated().buckets();
+        for b in &mut buckets {
+            b.run_var = (b.run_mean * b.run_mean * 0.4).max(1e-12);
+            b.idle_var = (b.idle_mean * b.idle_mean * 0.4).max(1e-12);
+        }
+        let t = BurstParamTable::from_buckets(buckets);
+        let (run, idle) = BurstFitTable::new(t.clone()).fits_for(0.42);
+        assert_eq!(run.unwrap().family(), "erlang-mix");
+        assert_eq!(idle.unwrap().family(), "erlang-mix");
+        let mut g1 = BurstGenerator::from_table(t.clone(), 0.42);
+        let mut g2 = BurstGenerator::from_table(t, 0.42);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut batch = Vec::new();
+        g1.next_bursts_into(&mut r1, 50, &mut batch);
+        let seq: Vec<Burst> = (0..50).map(|_| g2.next_burst(&mut r2)).collect();
+        assert_eq!(batch, seq);
+        assert_eq!(g1.next_burst(&mut r1), g2.next_burst(&mut r2));
     }
 
     #[test]

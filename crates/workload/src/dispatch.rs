@@ -68,14 +68,45 @@ impl DispatchTrace {
     /// Synthesize a trace holding a fixed target utilization for
     /// `duration` (the paper's "several twenty-minute intervals" at a
     /// given load level).
+    ///
+    /// Uses [`BurstGenerator::next_bursts_into`] in chunks: batched
+    /// sampling yields bursts bit-identical to the per-draw loop in the
+    /// same order, and the over-drawn tail of the final chunk only
+    /// advances the per-trace `DISPATCH` stream, which is dropped here —
+    /// so the trace matches per-draw generation exactly (see
+    /// `fixed_synthesis_matches_per_draw_generation`).
     pub fn synthesize_fixed(
         factory: &RngFactory,
         trace_id: u64,
         utilization: f64,
         duration: SimDuration,
     ) -> Self {
+        const CHUNK: usize = 64;
         let mut gen = BurstGenerator::paper(utilization);
-        Self::generate(factory, trace_id, duration, |_, _| None, &mut gen)
+        let mut rng = factory.stream_for(domains::DISPATCH, trace_id);
+        let mut bursts = Vec::new();
+        let mut batch = Vec::with_capacity(CHUNK);
+        let mut elapsed = 0u64;
+        let limit = duration.as_nanos();
+        'fill: while elapsed < limit {
+            gen.next_bursts_into(&mut rng, CHUNK, &mut batch);
+            for &b in &batch {
+                let mut b = b;
+                // Trim the final burst to the requested duration.
+                if elapsed + b.duration.as_nanos() > limit {
+                    b.duration = SimDuration::from_nanos(limit - elapsed);
+                    if b.duration.is_zero() {
+                        break 'fill;
+                    }
+                }
+                elapsed += b.duration.as_nanos();
+                bursts.push(b);
+                if elapsed >= limit {
+                    break 'fill;
+                }
+            }
+        }
+        DispatchTrace { bursts }
     }
 
     /// Synthesize a trace whose utilization wanders across levels: every
@@ -220,6 +251,21 @@ mod tests {
         assert_eq!(a.bursts(), b.bursts());
         let c = DispatchTrace::synthesize_fixed(&f, 2, 0.5, SimDuration::from_secs(10));
         assert_ne!(a.bursts(), c.bursts());
+    }
+
+    #[test]
+    fn fixed_synthesis_matches_per_draw_generation() {
+        // The batched path must reproduce the per-draw loop exactly —
+        // this is the guarantee that lets figures keep byte-identical
+        // JSON after the batching change.
+        let f = RngFactory::new(37);
+        for (id, target) in [(0u64, 0.05), (1, 0.5), (2, 0.9)] {
+            let d = SimDuration::from_secs(600);
+            let batched = DispatchTrace::synthesize_fixed(&f, id, target, d);
+            let mut gen = BurstGenerator::paper(target);
+            let per_draw = DispatchTrace::generate(&f, id, d, |_, _| None, &mut gen);
+            assert_eq!(batched.bursts(), per_draw.bursts(), "target {target}");
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`analysis`] — re-derivation of Figs 2, 3 and 4 from traces;
 //! * [`generator`] — the two-level generator wiring coarse traces to the
 //!   burst process (Fig 6);
+//! * [`library`] — the shared workload-realization cache: one synthesis
+//!   of traces + offsets + window table per `(config, seed, nodes)` key,
+//!   reused across policies, sweep points, and replications;
 //! * [`memory`] — the two-pool priority page model (Sec 3.2);
 //! * [`paging`] — the same policy at page granularity (LRU lists, free
 //!   list, fault costs), proving the protection invariant the Linux
@@ -54,6 +57,7 @@ pub mod dispatch;
 pub mod fit_table;
 pub mod generator;
 pub mod io;
+pub mod library;
 pub mod memory;
 pub mod paging;
 pub mod params;
@@ -68,6 +72,7 @@ pub use coarse::{
 pub use dispatch::DispatchTrace;
 pub use fit_table::{BurstFitTable, FitPair};
 pub use generator::LocalWorkload;
+pub use library::{TraceCacheStats, TraceLibrary, WindowCell, WindowTable, WorkloadRealization};
 pub use memory::{TwoPoolMemory, PAGE_KB};
 pub use paging::{Owner, PagingConfig, PagingSim, PagingStats};
 pub use params::{BucketParams, BurstParamTable, NUM_BUCKETS, WINDOW_SECS};

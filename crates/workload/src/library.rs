@@ -1,0 +1,581 @@
+//! Shared workload-realization cache.
+//!
+//! Every policy evaluation under common random numbers deliberately
+//! replays the *same* owner-workload realization: the per-node
+//! [`CoarseTrace`]s, their phase offsets, and the window-major
+//! [`WindowTable`] derive only from `(master seed, stream domain,
+//! node id)` — never from the policy, the cost parameters, or the thread
+//! that happens to run the simulation. Re-synthesizing them for each of
+//! the four policies at every sweep point is therefore pure redundant
+//! work: the bytes are provably identical.
+//!
+//! [`TraceLibrary`] is a content-keyed store of those realizations. The
+//! key is `(CoarseTraceConfig, seed, node count)` — the *logical* inputs
+//! of synthesis, bit-exact on the float fields — so a cache hit returns
+//! exactly the `Arc` a miss would have built, and results are
+//! byte-identical whether the cache is cold, warm, bypassed
+//! (`LINGER_NO_TRACE_CACHE=1`), or evicted mid-sweep. Misses synthesize
+//! deterministically; hits are pure reads.
+//!
+//! Memory is bounded: each entry's resident bytes are estimated at
+//! insertion and least-recently-used entries are dropped once the budget
+//! (`LINGER_TRACE_CACHE_BYTES`, default 1 GiB) is exceeded. Eviction is
+//! safe by construction — holders keep their `Arc`s alive, and a re-miss
+//! re-synthesizes the identical realization.
+
+use crate::coarse::{CoarseTrace, CoarseTraceConfig};
+use crate::generator::LocalWorkload;
+use linger_sim_core::{par_map_indexed, RngFactory};
+use serde::Serialize;
+use std::collections::{hash_map, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One node's coarse resource state over one 2-second window.
+///
+/// A row of [`WindowTable`]: the trace sample and recruitment flag every
+/// cluster simulator reads for node `n` at window `w`, pre-gathered into
+/// a contiguous window-major matrix so the per-window loop walks one
+/// cache-friendly slice instead of chasing per-node trace pointers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowCell {
+    /// Owner CPU demand in `[0, 1]`.
+    pub cpu: f64,
+    /// Owner-resident memory in KB.
+    pub mem_kb: u32,
+    /// Whether the recruitment rule marks the node idle.
+    pub idle: bool,
+}
+
+/// Window-major matrix of every node's `(cpu, mem, idle)` per window.
+///
+/// Row `w` holds the cells of all nodes for window `w % period()`, in
+/// node order. Because every [`CoarseTrace`] lookup wraps modulo the
+/// trace length, row `w` equals the direct per-trace lookups at *any*
+/// `w`, not just `w < period()`: for traces of length `period`,
+/// `(offset + (w % period)) % period == (offset + w) % period`.
+#[derive(Debug, Clone)]
+pub struct WindowTable {
+    period: usize,
+    nodes: usize,
+    cells: Vec<WindowCell>,
+}
+
+impl WindowTable {
+    /// Gather `traces` (with per-node phase `offsets`) into a window-major
+    /// table.
+    ///
+    /// Returns `None` when the node set is empty or the traces do not all
+    /// share one period — the callers' slow path then reads traces
+    /// directly.
+    pub fn build(traces: &[Arc<CoarseTrace>], offsets: &[usize]) -> Option<WindowTable> {
+        let period = traces.first()?.len();
+        if period == 0 || traces.iter().any(|t| t.len() != period) {
+            return None;
+        }
+        let nodes = traces.len();
+        let mut cells = Vec::with_capacity(period * nodes);
+        for w in 0..period {
+            for (trace, &offset) in traces.iter().zip(offsets) {
+                let i = offset + w;
+                let s = trace.sample(i);
+                cells.push(WindowCell {
+                    cpu: s.cpu,
+                    mem_kb: s.mem_used_kb,
+                    idle: trace.is_idle(i),
+                });
+            }
+        }
+        Some(WindowTable { period, nodes, cells })
+    }
+
+    /// Number of windows before the table wraps (the shared trace length).
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Number of node columns per row.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The cells of all nodes for window `w` (wraps modulo the period).
+    pub fn row(&self, w: usize) -> &[WindowCell] {
+        let start = (w % self.period) * self.nodes;
+        &self.cells[start..start + self.nodes]
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<WindowCell>()
+    }
+}
+
+/// One fully synthesized owner workload for a cluster: per-node traces,
+/// phase offsets, and the prebuilt window table.
+///
+/// This is the single shared helper behind `ClusterSim::new`, the
+/// parallel-program simulators, and the bench drivers — the one place
+/// that implements the `RngFactory` / [`LocalWorkload::random_offset`]
+/// derivation convention, so the consumers cannot drift.
+#[derive(Debug)]
+pub struct WorkloadRealization {
+    traces: Vec<Arc<CoarseTrace>>,
+    offsets: Vec<usize>,
+    window_table: Option<Arc<WindowTable>>,
+}
+
+impl WorkloadRealization {
+    /// Deterministically synthesize the realization for `nodes` machines
+    /// from `seed`.
+    ///
+    /// Per-node traces come from the `COARSE_TRACE`/`MEMORY` streams of
+    /// machine `n`, offsets from its `TRACE_OFFSET` stream — exactly the
+    /// streams `ClusterSim::new` historically drew, so cached and
+    /// uncached construction are bit-identical. Per-node synthesis is
+    /// index-keyed, so it fans out over the process worker pool without
+    /// affecting the bytes produced.
+    pub fn synthesize(cfg: &CoarseTraceConfig, seed: u64, nodes: usize) -> WorkloadRealization {
+        let factory = RngFactory::new(seed);
+        let traces: Vec<Arc<CoarseTrace>> =
+            par_map_indexed(nodes, None, |n| Arc::new(cfg.synthesize(&factory, n as u64)));
+        let offsets: Vec<usize> = traces
+            .iter()
+            .enumerate()
+            .map(|(n, t)| LocalWorkload::random_offset(t, &factory, n as u64))
+            .collect();
+        let window_table = WindowTable::build(&traces, &offsets).map(Arc::new);
+        WorkloadRealization { traces, offsets, window_table }
+    }
+
+    /// The per-node coarse traces.
+    pub fn traces(&self) -> &[Arc<CoarseTrace>] {
+        &self.traces
+    }
+
+    /// The per-node phase offsets (in samples).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The prebuilt window-major table, if the traces share one period.
+    pub fn window_table(&self) -> Option<&Arc<WindowTable>> {
+        self.window_table.as_ref()
+    }
+
+    /// Number of nodes this realization covers.
+    pub fn nodes(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Estimated resident bytes (samples + idle flags + offsets + table).
+    pub fn approx_bytes(&self) -> usize {
+        let per_sample = std::mem::size_of::<crate::coarse::CoarseSample>() + 1;
+        let traces: usize = self.traces.iter().map(|t| t.len() * per_sample).sum();
+        let table = self.window_table.as_ref().map_or(0, |t| t.approx_bytes());
+        traces + table + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Cache key: the logical inputs of synthesis, bit-exact.
+///
+/// Float fields are keyed by `to_bits`, so two configs compare equal iff
+/// synthesis would walk identical sample paths. Thread identity, policy,
+/// and cost parameters are deliberately absent: they cannot influence the
+/// realization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RealizationKey {
+    duration_ns: u64,
+    active_bits: u64,
+    away_bits: u64,
+    keyboard_bits: u64,
+    persistence_bits: u64,
+    diurnal: bool,
+    weekly: bool,
+    seed: u64,
+    nodes: usize,
+}
+
+impl RealizationKey {
+    fn new(cfg: &CoarseTraceConfig, seed: u64, nodes: usize) -> RealizationKey {
+        RealizationKey {
+            duration_ns: cfg.duration.as_nanos(),
+            active_bits: cfg.active_episode_mean_secs.to_bits(),
+            away_bits: cfg.away_episode_mean_secs.to_bits(),
+            keyboard_bits: cfg.keyboard_prob.to_bits(),
+            persistence_bits: cfg.cpu_persistence.to_bits(),
+            diurnal: cfg.diurnal,
+            weekly: cfg.weekly,
+            seed,
+            nodes,
+        }
+    }
+}
+
+struct Entry {
+    slot: Arc<OnceLock<Arc<WorkloadRealization>>>,
+    last_used: u64,
+    /// 0 until the realization is synthesized and its size recorded.
+    bytes: usize,
+}
+
+struct LibState {
+    entries: HashMap<RealizationKey, Entry>,
+    clock: u64,
+    bytes: usize,
+    max_bytes: usize,
+}
+
+/// Counter snapshot of a [`TraceLibrary`], serialized into
+/// `BENCH_runall.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceCacheStats {
+    /// Lookups served from an existing entry.
+    pub hits: u64,
+    /// Lookups that had to synthesize.
+    pub misses: u64,
+    /// Lookups that skipped the cache (`LINGER_NO_TRACE_CACHE=1`).
+    pub bypasses: u64,
+    /// Entries dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Realizations currently resident.
+    pub entries: usize,
+    /// Estimated bytes currently resident.
+    pub bytes_resident: usize,
+    /// Byte budget evictions enforce.
+    pub max_bytes: usize,
+}
+
+impl TraceCacheStats {
+    /// Fraction of cached lookups that hit, in `[0, 1]` (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default byte budget: 1 GiB comfortably holds the full
+/// 64/256/1024/4096-node scaling sweep (~330 MB) with headroom.
+const DEFAULT_MAX_BYTES: usize = 1 << 30;
+
+/// Content-keyed store of [`WorkloadRealization`]s.
+///
+/// Concurrent misses on the same key synthesize once: the map holds an
+/// `Arc<OnceLock<..>>` per key, claimed under the lock but initialized
+/// outside it, so latecomers block on `get_or_init` instead of
+/// duplicating work — and the lock is never held across synthesis.
+pub struct TraceLibrary {
+    state: Mutex<LibState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLibrary").field("stats", &self.stats()).finish()
+    }
+}
+
+impl Default for TraceLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceLibrary {
+    /// An empty library with the default byte budget.
+    pub fn new() -> TraceLibrary {
+        TraceLibrary::with_max_bytes(DEFAULT_MAX_BYTES)
+    }
+
+    /// An empty library that evicts least-recently-used realizations once
+    /// the estimated resident size exceeds `max_bytes`.
+    pub fn with_max_bytes(max_bytes: usize) -> TraceLibrary {
+        TraceLibrary {
+            state: Mutex::new(LibState {
+                entries: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                max_bytes,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared library.
+    ///
+    /// The byte budget is `LINGER_TRACE_CACHE_BYTES` (read once, at first
+    /// use), defaulting to 1 GiB.
+    pub fn global() -> &'static TraceLibrary {
+        static GLOBAL: OnceLock<TraceLibrary> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let budget = std::env::var("LINGER_TRACE_CACHE_BYTES")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_MAX_BYTES);
+            TraceLibrary::with_max_bytes(budget)
+        })
+    }
+
+    /// The realization for `(cfg, seed, nodes)` — synthesized on first
+    /// sight, shared thereafter.
+    ///
+    /// Setting `LINGER_NO_TRACE_CACHE=1` makes every call synthesize
+    /// afresh (counted as a bypass); because hits return exactly what a
+    /// miss would build, this changes wall-clock only, never results.
+    pub fn realize(
+        &self,
+        cfg: &CoarseTraceConfig,
+        seed: u64,
+        nodes: usize,
+    ) -> Arc<WorkloadRealization> {
+        if cache_disabled() {
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(WorkloadRealization::synthesize(cfg, seed, nodes));
+        }
+        let key = RealizationKey::new(cfg, seed, nodes);
+        let slot = {
+            let mut st = self.state.lock().unwrap();
+            st.clock += 1;
+            let now = st.clock;
+            match st.entries.entry(key) {
+                hash_map::Entry::Occupied(mut e) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    e.get_mut().last_used = now;
+                    e.get().slot.clone()
+                }
+                hash_map::Entry::Vacant(v) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    v.insert(Entry {
+                        slot: Arc::new(OnceLock::new()),
+                        last_used: now,
+                        bytes: 0,
+                    })
+                    .slot
+                    .clone()
+                }
+            }
+        };
+        let real = slot
+            .get_or_init(|| Arc::new(WorkloadRealization::synthesize(cfg, seed, nodes)))
+            .clone();
+        let mut st = self.state.lock().unwrap();
+        if let Some(e) = st.entries.get_mut(&key) {
+            // Record the size once the slot backing this entry is filled
+            // (the entry may have been evicted and re-created meanwhile —
+            // only account for the slot we actually hold).
+            if e.bytes == 0 && Arc::ptr_eq(&e.slot, &slot) {
+                e.bytes = real.approx_bytes().max(1);
+                st.bytes += e.bytes;
+            }
+        }
+        self.evict_over_budget(&mut st, &key);
+        real
+    }
+
+    /// Drop LRU-initialized entries (never `keep`) until under budget.
+    fn evict_over_budget(&self, st: &mut LibState, keep: &RealizationKey) {
+        while st.bytes > st.max_bytes {
+            let victim = st
+                .entries
+                .iter()
+                .filter(|(k, e)| e.bytes > 0 && *k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(k) = victim else { break };
+            let e = st.entries.remove(&k).expect("victim chosen from map");
+            st.bytes -= e.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> TraceCacheStats {
+        let st = self.state.lock().unwrap();
+        TraceCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: st.entries.len(),
+            bytes_resident: st.bytes,
+            max_bytes: st.max_bytes,
+        }
+    }
+
+    /// Drop every resident realization (counters are kept).
+    ///
+    /// Outstanding `Arc`s stay valid; the next lookup per key is a miss.
+    pub fn clear(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.entries.clear();
+        st.bytes = 0;
+    }
+}
+
+/// Whether `LINGER_NO_TRACE_CACHE` requests cache bypass (any non-empty
+/// value other than `0`). Read per lookup so a harness can toggle it
+/// between sections.
+fn cache_disabled() -> bool {
+    match std::env::var("LINGER_NO_TRACE_CACHE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linger_sim_core::SimDuration;
+
+    fn cfg(secs: u64) -> CoarseTraceConfig {
+        CoarseTraceConfig {
+            duration: SimDuration::from_secs(secs),
+            ..CoarseTraceConfig::default()
+        }
+    }
+
+    /// The hand-rolled synthesis loop `ClusterSim::new` used before the
+    /// library existed — the compatibility contract.
+    fn legacy_synthesize(
+        cfg: &CoarseTraceConfig,
+        seed: u64,
+        nodes: usize,
+    ) -> (Vec<Arc<CoarseTrace>>, Vec<usize>) {
+        let factory = RngFactory::new(seed);
+        let traces: Vec<Arc<CoarseTrace>> = (0..nodes)
+            .map(|n| Arc::new(cfg.synthesize(&factory, n as u64)))
+            .collect();
+        let offsets = traces
+            .iter()
+            .enumerate()
+            .map(|(n, t)| LocalWorkload::random_offset(t, &factory, n as u64))
+            .collect();
+        (traces, offsets)
+    }
+
+    #[test]
+    fn synthesize_matches_the_legacy_derivation() {
+        let c = cfg(1800);
+        let real = WorkloadRealization::synthesize(&c, 42, 6);
+        let (traces, offsets) = legacy_synthesize(&c, 42, 6);
+        assert_eq!(real.offsets(), &offsets[..]);
+        for (a, b) in real.traces().iter().zip(&traces) {
+            assert_eq!(a.samples(), b.samples());
+            assert_eq!(a.idle_flags(), b.idle_flags());
+        }
+    }
+
+    #[test]
+    fn window_table_rows_match_direct_trace_lookups() {
+        let real = WorkloadRealization::synthesize(&cfg(600), 7, 5);
+        let tbl = real.window_table().expect("uniform traces build a table");
+        assert_eq!(tbl.period(), real.traces()[0].len());
+        assert_eq!(tbl.nodes(), 5);
+        // Probe beyond the period to cover the wrap equivalence.
+        for w in [0, 1, tbl.period() - 1, tbl.period(), 3 * tbl.period() + 2] {
+            let row = tbl.row(w);
+            for (n, cell) in row.iter().enumerate() {
+                let i = real.offsets()[n] + w;
+                let s = real.traces()[n].sample(i);
+                assert_eq!(cell.cpu.to_bits(), s.cpu.to_bits());
+                assert_eq!(cell.mem_kb, s.mem_used_kb);
+                assert_eq!(cell.idle, real.traces()[n].is_idle(i));
+            }
+        }
+    }
+
+    #[test]
+    fn window_table_rejects_mixed_periods_and_empty_sets() {
+        assert!(WindowTable::build(&[], &[]).is_none());
+        let c = cfg(600);
+        let f = RngFactory::new(1);
+        let a = Arc::new(c.synthesize(&f, 0));
+        let b = Arc::new(cfg(1200).synthesize(&f, 1));
+        assert!(WindowTable::build(&[a, b], &[0, 0]).is_none());
+    }
+
+    #[test]
+    fn hits_share_the_synthesized_arc() {
+        let lib = TraceLibrary::new();
+        let c = cfg(600);
+        let a = lib.realize(&c, 1, 3);
+        let b = lib.realize(&c, 1, 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = lib.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.bytes_resident, a.approx_bytes());
+        // A different seed is a different realization.
+        let other = lib.realize(&c, 2, 3);
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(lib.stats().misses, 2);
+    }
+
+    #[test]
+    fn key_is_bit_exact_on_the_config() {
+        let lib = TraceLibrary::new();
+        let c = cfg(600);
+        let _ = lib.realize(&c, 1, 3);
+        let mut tweaked = c.clone();
+        tweaked.keyboard_prob += 1e-12;
+        let _ = lib.realize(&tweaked, 1, 3);
+        assert_eq!(lib.stats().misses, 2, "any float perturbation must re-key");
+    }
+
+    #[test]
+    fn eviction_keeps_results_identical_and_respects_the_budget() {
+        let c = cfg(600);
+        let probe = WorkloadRealization::synthesize(&c, 1, 2);
+        // Budget fits one entry but not two.
+        let lib = TraceLibrary::with_max_bytes(probe.approx_bytes() + probe.approx_bytes() / 2);
+        let a1 = lib.realize(&c, 1, 2);
+        let _b = lib.realize(&c, 2, 2); // evicts seed 1
+        let s = lib.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes_resident <= s.max_bytes);
+        // The evicted Arc is still usable, and a re-miss resynthesizes
+        // the identical realization.
+        let a2 = lib.realize(&c, 1, 2);
+        assert!(!Arc::ptr_eq(&a1, &a2));
+        assert_eq!(a1.offsets(), a2.offsets());
+        for (x, y) in a1.traces().iter().zip(a2.traces()) {
+            assert_eq!(x.samples(), y.samples());
+        }
+        assert_eq!(lib.stats().misses, 3);
+    }
+
+    #[test]
+    fn clear_forces_fresh_misses_but_not_fresh_bytes() {
+        let lib = TraceLibrary::new();
+        let c = cfg(600);
+        let a = lib.realize(&c, 9, 2);
+        lib.clear();
+        assert_eq!(lib.stats().bytes_resident, 0);
+        let b = lib.realize(&c, 9, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(lib.stats().misses, 2);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let lib = TraceLibrary::new();
+        assert_eq!(lib.stats().hit_rate(), 0.0);
+        let c = cfg(600);
+        for _ in 0..4 {
+            let _ = lib.realize(&c, 5, 2);
+        }
+        let s = lib.stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}
