@@ -1,0 +1,45 @@
+//! Extension: fault-injection sweep — all four policies under node
+//! crash/reboot processes and in-transit migration failures. The
+//! paper's cluster is fault-free; this sweep shows how each policy
+//! degrades as nodes crash and transfers fail, and that the fault
+//! machinery at rate zero is bit-identical to the fault-free simulator.
+
+use linger_bench::output::{banner, note_artifact, HarnessArgs};
+use linger_bench::{ext_faults, write_json, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Extension: fault injection",
+        "crash/reboot + migration failures across the policy grid",
+    );
+    let points = ext_faults(args.seed, args.fast);
+    let mut t = Table::new(vec![
+        "crashes/node-h",
+        "p(mig fail)",
+        "policy",
+        "completed",
+        "foreign cpu (s)",
+        "crashes",
+        "evictions",
+        "mig failures",
+        "retries",
+        "abandoned",
+    ]);
+    for p in &points {
+        t.row(vec![
+            format!("{:.1}", p.crash_rate_per_hour),
+            format!("{:.2}", p.migration_failure_prob),
+            p.policy.clone(),
+            format!("{}", p.completed),
+            format!("{:.0}", p.foreign_cpu_secs),
+            format!("{}", p.crashes),
+            format!("{}", p.crash_evictions),
+            format!("{}", p.migration_failures),
+            format!("{}", p.migration_retries),
+            format!("{}", p.migrations_abandoned),
+        ]);
+    }
+    t.print();
+    note_artifact("ext_faults", write_json("ext_faults", &points));
+}

@@ -6,6 +6,11 @@
 //! sets the parallel runner's worker count (0 = one per core; results
 //! are byte-identical at any value). Per-figure wall-clock lands in
 //! `BENCH_runall.json` next to the working directory.
+//!
+//! Every section runs under [`RunTimings::time_caught`]: a section that
+//! panics is recorded (name + payload) in the ledger's
+//! `failed_sections`, its scorecard checks turn into failures, and the
+//! remaining sections still run and write their results.
 
 use linger_bench::output::{note_artifact, HarnessArgs};
 use linger_bench::*;
@@ -18,6 +23,16 @@ struct Check {
     ok: bool,
 }
 
+/// The scorecard entry a panicked section leaves behind.
+fn section_panicked(name: &'static str) -> Check {
+    Check {
+        name,
+        paper: "section completes".into(),
+        measured: "PANICKED — see failed_sections in BENCH_runall.json".into(),
+        ok: false,
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     let t0 = std::time::Instant::now();
@@ -25,270 +40,386 @@ fn main() {
     let mut timings = RunTimings::new(args.jobs, args.seed, args.fast);
 
     println!("running Fig 2 …");
-    let f2 = timings.time("fig02", || fig02(args.seed, args.fast));
-    note_artifact("fig02", write_json("fig02", &f2));
-    let ks_worst = f2.iter().map(|b| b.ks_run.max(b.ks_idle)).fold(0.0f64, f64::max);
-    checks.push(Check {
-        name: "Fig 2: fitted vs empirical burst CDFs",
-        paper: "curves almost exactly match".into(),
-        measured: format!("worst KS distance {ks_worst:.3}"),
-        ok: ks_worst < 0.1,
-    });
+    match timings.time_caught("fig02", || fig02(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig02")),
+        Some(f2) => {
+            note_artifact("fig02", write_json("fig02", &f2));
+            let ks_worst =
+                f2.iter().map(|b| b.ks_run.max(b.ks_idle)).fold(0.0f64, f64::max);
+            checks.push(Check {
+                name: "Fig 2: fitted vs empirical burst CDFs",
+                paper: "curves almost exactly match".into(),
+                measured: format!("worst KS distance {ks_worst:.3}"),
+                ok: ks_worst < 0.1,
+            });
+        }
+    }
 
     println!("running Fig 3 …");
-    let f3 = timings.time("fig03", || fig03(args.seed, args.fast));
-    note_artifact("fig03", write_json("fig03", &f3));
-    let mid_err = f3
-        .iter()
-        .filter(|r| (20..=80).contains(&r.level_pct) && r.model_run_mean > 0.0 && r.windows > 50)
-        .map(|r| (r.run_mean - r.model_run_mean).abs() / r.model_run_mean)
-        .fold(0.0f64, f64::max);
-    checks.push(Check {
-        name: "Fig 3: burst moments re-derived per bucket",
-        paper: "monotone run-burst growth to ~0.28 s".into(),
-        measured: format!("worst mid-bucket run-mean error {:.0}%", mid_err * 100.0),
-        ok: mid_err < 0.5,
-    });
+    match timings.time_caught("fig03", || fig03(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig03")),
+        Some(f3) => {
+            note_artifact("fig03", write_json("fig03", &f3));
+            let mid_err = f3
+                .iter()
+                .filter(|r| {
+                    (20..=80).contains(&r.level_pct) && r.model_run_mean > 0.0 && r.windows > 50
+                })
+                .map(|r| (r.run_mean - r.model_run_mean).abs() / r.model_run_mean)
+                .fold(0.0f64, f64::max);
+            checks.push(Check {
+                name: "Fig 3: burst moments re-derived per bucket",
+                paper: "monotone run-burst growth to ~0.28 s".into(),
+                measured: format!("worst mid-bucket run-mean error {:.0}%", mid_err * 100.0),
+                ok: mid_err < 0.5,
+            });
+        }
+    }
 
     println!("running Fig 4 …");
-    let f4 = timings.time("fig04", || fig04(args.seed, args.fast));
-    note_artifact("fig04", write_json("fig04", &f4));
-    checks.push(Check {
-        name: "Fig 4 / Sec 3.2: idleness + memory anchors",
-        paper: "46% non-idle; 76% low-cpu; >=14MB @P90".into(),
-        measured: format!(
-            "{:.0}% non-idle; {:.0}% low-cpu; {:.1}MB @P90",
-            f4.non_idle_fraction * 100.0,
-            f4.non_idle_low_cpu_fraction * 100.0,
-            f4.p90_free_kb / 1024.0
-        ),
-        ok: (f4.non_idle_fraction - 0.46).abs() < 0.10
-            && (f4.non_idle_low_cpu_fraction - 0.76).abs() < 0.10
-            && f4.p90_free_kb >= 12_000.0,
-    });
+    match timings.time_caught("fig04", || fig04(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig04")),
+        Some(f4) => {
+            note_artifact("fig04", write_json("fig04", &f4));
+            checks.push(Check {
+                name: "Fig 4 / Sec 3.2: idleness + memory anchors",
+                paper: "46% non-idle; 76% low-cpu; >=14MB @P90".into(),
+                measured: format!(
+                    "{:.0}% non-idle; {:.0}% low-cpu; {:.1}MB @P90",
+                    f4.non_idle_fraction * 100.0,
+                    f4.non_idle_low_cpu_fraction * 100.0,
+                    f4.p90_free_kb / 1024.0
+                ),
+                ok: (f4.non_idle_fraction - 0.46).abs() < 0.10
+                    && (f4.non_idle_low_cpu_fraction - 0.76).abs() < 0.10
+                    && f4.p90_free_kb >= 12_000.0,
+            });
+        }
+    }
 
     println!("running Fig 5 …");
-    let f5 = timings.time("fig05", || fig05(args.seed, args.fast));
-    note_artifact("fig05", write_json("fig05", &f5));
-    let peak_100 = f5[..9].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
-    let peak_500 = f5[18..].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
-    let min_fcsr = f5.iter().map(|r| r.fcsr).fold(1.0f64, f64::min);
-    checks.push(Check {
-        name: "Fig 5: LDR ~1% @100us, ~8% @500us; FCSR >90%",
-        paper: "1% / 8% / >90%".into(),
-        measured: format!(
-            "{:.1}% / {:.1}% / {:.0}%",
-            peak_100 * 100.0,
-            peak_500 * 100.0,
-            min_fcsr * 100.0
-        ),
-        ok: peak_100 < 0.02 && (0.03..0.10).contains(&peak_500) && min_fcsr > 0.90,
-    });
+    match timings.time_caught("fig05", || fig05(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig05")),
+        Some(f5) => {
+            note_artifact("fig05", write_json("fig05", &f5));
+            let peak_100 = f5[..9].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
+            let peak_500 = f5[18..].iter().map(|r| r.ldr).fold(0.0f64, f64::max);
+            let min_fcsr = f5.iter().map(|r| r.fcsr).fold(1.0f64, f64::min);
+            checks.push(Check {
+                name: "Fig 5: LDR ~1% @100us, ~8% @500us; FCSR >90%",
+                paper: "1% / 8% / >90%".into(),
+                measured: format!(
+                    "{:.1}% / {:.1}% / {:.0}%",
+                    peak_100 * 100.0,
+                    peak_500 * 100.0,
+                    min_fcsr * 100.0
+                ),
+                ok: peak_100 < 0.02 && (0.03..0.10).contains(&peak_500) && min_fcsr > 0.90,
+            });
+        }
+    }
 
     println!("running Fig 6 …");
-    let f6 = timings.time("fig06", || fig06(args.seed, args.fast));
-    note_artifact("fig06", write_json("fig06", &f6));
-    checks.push(Check {
-        name: "Fig 6: two-level pipeline coherence",
-        paper: "fine-grain stream realizes coarse trace".into(),
-        measured: format!("corr {:.2}, MAE {:.3}", f6.correlation, f6.mean_abs_error),
-        ok: f6.correlation > 0.8 && f6.mean_abs_error < 0.08,
-    });
+    match timings.time_caught("fig06", || fig06(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig06")),
+        Some(f6) => {
+            note_artifact("fig06", write_json("fig06", &f6));
+            checks.push(Check {
+                name: "Fig 6: two-level pipeline coherence",
+                paper: "fine-grain stream realizes coarse trace".into(),
+                measured: format!("corr {:.2}, MAE {:.3}", f6.correlation, f6.mean_abs_error),
+                ok: f6.correlation > 0.8 && f6.mean_abs_error < 0.08,
+            });
+        }
+    }
 
     println!("running Figs 7+8 (cluster; this is the long one) …");
     let cache_before_f7 = TraceLibrary::global().stats();
-    let f7 = timings.time("fig07", || fig07(args.seed, args.fast));
-    note_artifact("fig07", write_json("fig07", &f7));
+    match timings.time_caught("fig07", || fig07(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig07")),
+        Some(f7) => {
+            note_artifact("fig07", write_json("fig07", &f7));
+            let (ll, lf, ie, pm) =
+                (&f7.workload1[0], &f7.workload1[1], &f7.workload1[2], &f7.workload1[3]);
+            checks.push(Check {
+                name: "Fig 7 w1: LL/LF cut avg completion vs IE/PM",
+                paper: "1044/1026 vs 1531/1531 s (-32%)".into(),
+                measured: format!(
+                    "{:.0}/{:.0} vs {:.0}/{:.0} s",
+                    ll.avg_completion_secs,
+                    lf.avg_completion_secs,
+                    ie.avg_completion_secs,
+                    pm.avg_completion_secs
+                ),
+                ok: ll.avg_completion_secs < 0.8 * ie.avg_completion_secs,
+            });
+            checks.push(Check {
+                name: "Fig 7 w1: throughput gain (headline '60%')",
+                paper: "LL 52.2 / LF 55.5 vs IE,PM 34.6 (+51-60%)".into(),
+                measured: format!(
+                    "LL {:.1} / LF {:.1} vs IE {:.1}, PM {:.1} (+{:.0}%)",
+                    ll.throughput,
+                    lf.throughput,
+                    ie.throughput,
+                    pm.throughput,
+                    (lf.throughput / pm.throughput - 1.0) * 100.0
+                ),
+                ok: lf.throughput > 1.4 * pm.throughput,
+            });
+            checks.push(Check {
+                name: "Fig 7: foreground slowdown (headline '0.5%')",
+                paper: "<0.5%".into(),
+                measured: format!("{:.2}%", ll.foreground_delay * 100.0),
+                ok: ll.foreground_delay < 0.006,
+            });
+            let w2 = &f7.workload2;
+            let spread = {
+                let avgs: Vec<f64> = w2.iter().map(|m| m.avg_completion_secs).collect();
+                let lo = avgs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = avgs.iter().cloned().fold(0.0f64, f64::max);
+                (hi - lo) / lo
+            };
+            checks.push(Check {
+                name: "Fig 7 w2: light load — policies nearly identical",
+                paper: "1859-1862 s (all within 0.2%)".into(),
+                measured: format!("spread {:.1}%", spread * 100.0),
+                ok: spread < 0.10,
+            });
+            checks.push(Check {
+                name: "Fig 8: queue time drives the w1 gap",
+                paper: "linger policies cut queue time".into(),
+                measured: format!(
+                    "queued: LL {:.0}s vs IE {:.0}s",
+                    ll.avg_breakdown.queued, ie.avg_breakdown.queued
+                ),
+                ok: ie.avg_breakdown.queued > 1.5 * ll.avg_breakdown.queued,
+            });
+        }
+    }
     let cache_after_f7 = TraceLibrary::global().stats();
-    let (ll, lf, ie, pm) = (&f7.workload1[0], &f7.workload1[1], &f7.workload1[2], &f7.workload1[3]);
-    checks.push(Check {
-        name: "Fig 7 w1: LL/LF cut avg completion vs IE/PM",
-        paper: "1044/1026 vs 1531/1531 s (-32%)".into(),
-        measured: format!(
-            "{:.0}/{:.0} vs {:.0}/{:.0} s",
-            ll.avg_completion_secs, lf.avg_completion_secs, ie.avg_completion_secs, pm.avg_completion_secs
-        ),
-        ok: ll.avg_completion_secs < 0.8 * ie.avg_completion_secs,
-    });
-    checks.push(Check {
-        name: "Fig 7 w1: throughput gain (headline '60%')",
-        paper: "LL 52.2 / LF 55.5 vs IE,PM 34.6 (+51-60%)".into(),
-        measured: format!(
-            "LL {:.1} / LF {:.1} vs IE {:.1}, PM {:.1} (+{:.0}%)",
-            ll.throughput,
-            lf.throughput,
-            ie.throughput,
-            pm.throughput,
-            (lf.throughput / pm.throughput - 1.0) * 100.0
-        ),
-        ok: lf.throughput > 1.4 * pm.throughput,
-    });
-    checks.push(Check {
-        name: "Fig 7: foreground slowdown (headline '0.5%')",
-        paper: "<0.5%".into(),
-        measured: format!("{:.2}%", ll.foreground_delay * 100.0),
-        ok: ll.foreground_delay < 0.006,
-    });
-    let w2 = &f7.workload2;
-    let spread = {
-        let avgs: Vec<f64> = w2.iter().map(|m| m.avg_completion_secs).collect();
-        let lo = avgs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = avgs.iter().cloned().fold(0.0f64, f64::max);
-        (hi - lo) / lo
-    };
-    checks.push(Check {
-        name: "Fig 7 w2: light load — policies nearly identical",
-        paper: "1859-1862 s (all within 0.2%)".into(),
-        measured: format!("spread {:.1}%", spread * 100.0),
-        ok: spread < 0.10,
-    });
-    checks.push(Check {
-        name: "Fig 8: queue time drives the w1 gap",
-        paper: "linger policies cut queue time".into(),
-        measured: format!(
-            "queued: LL {:.0}s vs IE {:.0}s",
-            ll.avg_breakdown.queued, ie.avg_breakdown.queued
-        ),
-        ok: ie.avg_breakdown.queued > 1.5 * ll.avg_breakdown.queued,
-    });
 
     println!("running Fig 9 …");
-    let f9 = timings.time("fig09", || fig09(args.seed, args.fast));
-    note_artifact("fig09", write_json("fig09", &f9));
-    let low_ok = f9[1..=4].iter().all(|p| p.slowdown < 2.0);
-    checks.push(Check {
-        name: "Fig 9: BSP slowdown vs one node's load",
-        paper: "1.1-1.5 below 40%; ~9 at 90%".into(),
-        measured: format!(
-            "{:.2} at 20%, {:.2} at 40%, {:.1} at 90%",
-            f9[2].slowdown, f9[4].slowdown, f9[9].slowdown
-        ),
-        ok: low_ok && f9[9].slowdown > 4.0,
-    });
+    match timings.time_caught("fig09", || fig09(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig09")),
+        Some(f9) => {
+            note_artifact("fig09", write_json("fig09", &f9));
+            let low_ok = f9[1..=4].iter().all(|p| p.slowdown < 2.0);
+            checks.push(Check {
+                name: "Fig 9: BSP slowdown vs one node's load",
+                paper: "1.1-1.5 below 40%; ~9 at 90%".into(),
+                measured: format!(
+                    "{:.2} at 20%, {:.2} at 40%, {:.1} at 90%",
+                    f9[2].slowdown, f9[4].slowdown, f9[9].slowdown
+                ),
+                ok: low_ok && f9[9].slowdown > 4.0,
+            });
+        }
+    }
 
     println!("running Fig 10 …");
-    let f10 = timings.time("fig10", || fig10(args.seed, args.fast));
-    note_artifact("fig10", write_json("fig10", &f10));
-    let fine = f10.iter().find(|p| p.granularity_ms == 10 && p.non_idle == 4).unwrap().slowdown;
-    let coarse = f10
-        .iter()
-        .find(|p| p.granularity_ms == 10_000 && p.non_idle == 4)
-        .unwrap()
-        .slowdown;
-    checks.push(Check {
-        name: "Fig 10: coarser sync granularity -> less slowdown",
-        paper: "4 non-idle: ~2+ at 10ms falling under 1.5".into(),
-        measured: format!("{fine:.2} at 10ms vs {coarse:.2} at 10s"),
-        ok: fine > coarse && coarse < 1.8,
-    });
+    match timings.time_caught("fig10", || fig10(args.seed, args.fast)) {
+        None => checks.push(section_panicked("fig10")),
+        Some(f10) => {
+            note_artifact("fig10", write_json("fig10", &f10));
+            let fine = f10
+                .iter()
+                .find(|p| p.granularity_ms == 10 && p.non_idle == 4)
+                .map(|p| p.slowdown);
+            let coarse = f10
+                .iter()
+                .find(|p| p.granularity_ms == 10_000 && p.non_idle == 4)
+                .map(|p| p.slowdown);
+            match (fine, coarse) {
+                (Some(fine), Some(coarse)) => checks.push(Check {
+                    name: "Fig 10: coarser sync granularity -> less slowdown",
+                    paper: "4 non-idle: ~2+ at 10ms falling under 1.5".into(),
+                    measured: format!("{fine:.2} at 10ms vs {coarse:.2} at 10s"),
+                    ok: fine > coarse && coarse < 1.8,
+                }),
+                _ => checks.push(Check {
+                    name: "Fig 10: coarser sync granularity -> less slowdown",
+                    paper: "4 non-idle: ~2+ at 10ms falling under 1.5".into(),
+                    measured: "expected grid points missing".into(),
+                    ok: false,
+                }),
+            }
+        }
+    }
 
     println!("running Fig 11 …");
-    let f11 = timings.time("fig11", || fig11(args.seed));
-    note_artifact("fig11", write_json("fig11", &f11));
-    let ll16_beats = [20usize, 14, 10].iter().all(|&i| {
-        let ll = f11.iter().find(|p| p.idle == i && p.strategy == "16 nodes").unwrap();
-        let rc = f11.iter().find(|p| p.idle == i && p.strategy == "reconfig").unwrap();
-        ll.completion_secs <= rc.completion_secs * 1.05
-    });
-    checks.push(Check {
-        name: "Fig 11: LL-8/LL-16 beat reconfiguration",
-        paper: "LL outperforms reconfig at 8 or 16 nodes".into(),
-        measured: format!("LL-16 <= reconfig at 20/14/10 idle: {ll16_beats}"),
-        ok: ll16_beats,
-    });
+    match timings.time_caught("fig11", || fig11(args.seed)) {
+        None => checks.push(section_panicked("fig11")),
+        Some(f11) => {
+            note_artifact("fig11", write_json("fig11", &f11));
+            let ll16_beats = [20usize, 14, 10].iter().all(|&i| {
+                let ll = f11.iter().find(|p| p.idle == i && p.strategy == "16 nodes");
+                let rc = f11.iter().find(|p| p.idle == i && p.strategy == "reconfig");
+                match (ll, rc) {
+                    (Some(ll), Some(rc)) => ll.completion_secs <= rc.completion_secs * 1.05,
+                    _ => false,
+                }
+            });
+            checks.push(Check {
+                name: "Fig 11: LL-8/LL-16 beat reconfiguration",
+                paper: "LL outperforms reconfig at 8 or 16 nodes".into(),
+                measured: format!("LL-16 <= reconfig at 20/14/10 idle: {ll16_beats}"),
+                ok: ll16_beats,
+            });
+        }
+    }
 
     println!("running Fig 12 …");
-    let f12 = timings.time("fig12", || fig12(args.seed));
-    note_artifact("fig12", write_json("fig12", &f12));
-    let pick = |app: &str, k: usize, u: f64| {
-        f12.iter()
-            .find(|p| p.app == app && p.non_idle == k && (p.local_util - u).abs() < 1e-9)
-            .unwrap()
-            .slowdown
-    };
-    let ordered = pick("sor", 8, 0.4) > pick("water", 8, 0.4)
-        && pick("water", 8, 0.4) > pick("fft", 8, 0.4);
-    checks.push(Check {
-        name: "Fig 12: app sensitivity ordering sor > water > fft",
-        paper: "sor most sensitive; fft least".into(),
-        measured: format!(
-            "@8x40%: sor {:.2}, water {:.2}, fft {:.2}",
-            pick("sor", 8, 0.4),
-            pick("water", 8, 0.4),
-            pick("fft", 8, 0.4)
-        ),
-        ok: ordered,
-    });
-    checks.push(Check {
-        name: "Fig 12: all-8-non-idle @20% roughly doubles",
-        paper: "just above a factor of 2".into(),
-        measured: format!("sor {:.2}", pick("sor", 8, 0.2)),
-        ok: (1.3..2.8).contains(&pick("sor", 8, 0.2)),
-    });
+    match timings.time_caught("fig12", || fig12(args.seed)) {
+        None => checks.push(section_panicked("fig12")),
+        Some(f12) => {
+            note_artifact("fig12", write_json("fig12", &f12));
+            let pick = |app: &str, k: usize, u: f64| {
+                f12.iter()
+                    .find(|p| p.app == app && p.non_idle == k && (p.local_util - u).abs() < 1e-9)
+                    .map(|p| p.slowdown)
+                    .unwrap_or(f64::NAN)
+            };
+            let ordered = pick("sor", 8, 0.4) > pick("water", 8, 0.4)
+                && pick("water", 8, 0.4) > pick("fft", 8, 0.4);
+            checks.push(Check {
+                name: "Fig 12: app sensitivity ordering sor > water > fft",
+                paper: "sor most sensitive; fft least".into(),
+                measured: format!(
+                    "@8x40%: sor {:.2}, water {:.2}, fft {:.2}",
+                    pick("sor", 8, 0.4),
+                    pick("water", 8, 0.4),
+                    pick("fft", 8, 0.4)
+                ),
+                ok: ordered,
+            });
+            checks.push(Check {
+                name: "Fig 12: all-8-non-idle @20% roughly doubles",
+                paper: "just above a factor of 2".into(),
+                measured: format!("sor {:.2}", pick("sor", 8, 0.2)),
+                ok: (1.3..2.8).contains(&pick("sor", 8, 0.2)),
+            });
+        }
+    }
 
     println!("running Fig 13 …");
-    let f13 = timings.time("fig13", || fig13(args.seed));
-    note_artifact("fig13", write_json("fig13", &f13));
-    let ll16_wins = ["sor", "water", "fft"].iter().all(|&app| {
-        [15usize, 13, 12].iter().all(|&i| {
-            let ll = f13
-                .iter()
-                .find(|p| p.app == app && p.idle == i && p.strategy == "16 node linger")
-                .unwrap();
-            let rc = f13
-                .iter()
-                .find(|p| p.app == app && p.idle == i && p.strategy == "reconfiguration")
-                .unwrap();
-            ll.slowdown < rc.slowdown
-        })
-    });
-    checks.push(Check {
-        name: "Fig 13: LL-16 beats reconfiguration at >=12 idle",
-        paper: "LL-16 wins when idle >= 12".into(),
-        measured: format!("holds for all apps: {ll16_wins}"),
-        ok: ll16_wins,
-    });
+    match timings.time_caught("fig13", || fig13(args.seed)) {
+        None => checks.push(section_panicked("fig13")),
+        Some(f13) => {
+            note_artifact("fig13", write_json("fig13", &f13));
+            let ll16_wins = ["sor", "water", "fft"].iter().all(|&app| {
+                [15usize, 13, 12].iter().all(|&i| {
+                    let ll = f13.iter().find(|p| {
+                        p.app == app && p.idle == i && p.strategy == "16 node linger"
+                    });
+                    let rc = f13.iter().find(|p| {
+                        p.app == app && p.idle == i && p.strategy == "reconfiguration"
+                    });
+                    match (ll, rc) {
+                        (Some(ll), Some(rc)) => ll.slowdown < rc.slowdown,
+                        _ => false,
+                    }
+                })
+            });
+            checks.push(Check {
+                name: "Fig 13: LL-16 beats reconfiguration at >=12 idle",
+                paper: "LL-16 wins when idle >= 12".into(),
+                measured: format!("holds for all apps: {ll16_wins}"),
+                ok: ll16_wins,
+            });
+        }
+    }
 
     println!("running extensions (hybrid, throughput, predictor) …");
-    let eh = timings.time("ext_hybrid", || ext_hybrid(args.seed));
-    note_artifact("ext_hybrid", write_json("ext_hybrid", &eh));
-    let worst_regret = eh
-        .iter()
-        .map(|p| p.hybrid_secs / p.oracle_secs)
-        .fold(0.0f64, f64::max);
-    checks.push(Check {
-        name: "Ext: hybrid width predictor vs oracle",
-        paper: "Sec 5.2: 'a hybrid strategy … may be the best approach'".into(),
-        measured: format!("worst regret {:.1}%", (worst_regret - 1.0) * 100.0),
-        ok: worst_regret < 1.25,
-    });
-    let et = timings.time("ext_throughput", || ext_parallel_throughput(args.seed, args.fast));
-    note_artifact("ext_throughput", write_json("ext_throughput", &et));
-    let heavy = &et[0];
-    checks.push(Check {
-        name: "Ext: parallel cluster throughput under saturation",
-        paper: "conclusion: lingering should offset per-job slowdown".into(),
-        measured: format!(
-            "linger {:.1} vs rigid {:.1} jobs/h at heaviest load",
-            heavy.linger.jobs_per_hour, heavy.rigid.jobs_per_hour
-        ),
-        ok: heavy.linger.jobs_per_hour > 1.2 * heavy.rigid.jobs_per_hour,
-    });
+    match timings.time_caught("ext_hybrid", || ext_hybrid(args.seed)) {
+        None => checks.push(section_panicked("ext_hybrid")),
+        Some(eh) => {
+            note_artifact("ext_hybrid", write_json("ext_hybrid", &eh));
+            let worst_regret =
+                eh.iter().map(|p| p.hybrid_secs / p.oracle_secs).fold(0.0f64, f64::max);
+            checks.push(Check {
+                name: "Ext: hybrid width predictor vs oracle",
+                paper: "Sec 5.2: 'a hybrid strategy … may be the best approach'".into(),
+                measured: format!("worst regret {:.1}%", (worst_regret - 1.0) * 100.0),
+                ok: worst_regret < 1.25,
+            });
+        }
+    }
+    match timings.time_caught("ext_throughput", || ext_parallel_throughput(args.seed, args.fast))
+    {
+        None => checks.push(section_panicked("ext_throughput")),
+        Some(et) => {
+            note_artifact("ext_throughput", write_json("ext_throughput", &et));
+            let heavy = &et[0];
+            checks.push(Check {
+                name: "Ext: parallel cluster throughput under saturation",
+                paper: "conclusion: lingering should offset per-job slowdown".into(),
+                measured: format!(
+                    "linger {:.1} vs rigid {:.1} jobs/h at heaviest load",
+                    heavy.linger.jobs_per_hour, heavy.rigid.jobs_per_hour
+                ),
+                ok: heavy.linger.jobs_per_hour > 1.2 * heavy.rigid.jobs_per_hour,
+            });
+        }
+    }
+
     println!("running extension scaling sweep (64-4096 nodes) …");
-    let (es, es_t) = timings.time("ext_scaling", || ext_scaling(args.seed, args.fast));
-    note_artifact("ext_scaling", write_json("ext_scaling", &es));
-    let ns_lo = scaling_ns_per_node_window(&es_t, SCALING_NODE_COUNTS[0]);
-    let ns_hi = scaling_ns_per_node_window(&es_t, *SCALING_NODE_COUNTS.last().unwrap());
-    timings.scaling = es_t;
-    checks.push(Check {
-        name: "Ext: window-loop cost per node-window flat to 4096 nodes",
-        paper: "extension: indexed node state, no per-window rescans".into(),
-        measured: format!(
-            "{ns_lo:.0} ns at 64 nodes vs {ns_hi:.0} ns at 4096 ({:.2}x)",
-            ns_hi / ns_lo.max(1e-12)
-        ),
-        ok: ns_hi <= 2.0 * ns_lo,
-    });
+    match timings.time_caught("ext_scaling", || ext_scaling(args.seed, args.fast)) {
+        None => checks.push(section_panicked("ext_scaling")),
+        Some((es, es_t)) => {
+            note_artifact("ext_scaling", write_json("ext_scaling", &es));
+            let ns_lo = scaling_ns_per_node_window(&es_t, SCALING_NODE_COUNTS[0]);
+            let ns_hi =
+                scaling_ns_per_node_window(&es_t, *SCALING_NODE_COUNTS.last().unwrap());
+            timings.scaling = es_t;
+            checks.push(Check {
+                name: "Ext: window-loop cost per node-window flat to 4096 nodes",
+                paper: "extension: indexed node state, no per-window rescans".into(),
+                measured: format!(
+                    "{ns_lo:.0} ns at 64 nodes vs {ns_hi:.0} ns at 4096 ({:.2}x)",
+                    ns_hi / ns_lo.max(1e-12)
+                ),
+                ok: ns_hi <= 2.0 * ns_lo,
+            });
+        }
+    }
+
+    println!("running extension fault-injection sweep …");
+    match timings.time_caught("ext_faults", || ext_faults(args.seed, args.fast)) {
+        None => checks.push(section_panicked("ext_faults")),
+        Some(ef) => {
+            note_artifact("ext_faults", write_json("ext_faults", &ef));
+            let quiet_ok = ef
+                .iter()
+                .filter(|p| p.crash_rate_per_hour == 0.0 && p.migration_failure_prob == 0.0)
+                .all(|p| {
+                    p.crashes == 0 && p.migration_failures == 0 && p.migrations_abandoned == 0
+                });
+            let (heaviest, _) = FAULT_RATES[FAULT_RATES.len() - 1];
+            let heavy: Vec<_> =
+                ef.iter().filter(|p| p.crash_rate_per_hour == heaviest).collect();
+            let heavy_fires =
+                !heavy.is_empty() && heavy.iter().all(|p| p.crashes > 0 && p.completed > 0);
+            let ll0 = ef
+                .iter()
+                .find(|p| p.policy == "LL" && p.crash_rate_per_hour == 0.0)
+                .map(|p| p.foreign_cpu_secs)
+                .unwrap_or(0.0);
+            let ll_heavy = ef
+                .iter()
+                .find(|p| p.policy == "LL" && p.crash_rate_per_hour == heaviest)
+                .map(|p| p.foreign_cpu_secs)
+                .unwrap_or(f64::INFINITY);
+            checks.push(Check {
+                name: "Ext: fault injection — crashes fire, jobs still flow",
+                paper: "extension: graceful degradation under crash/reboot".into(),
+                measured: format!(
+                    "quiet grid clean: {quiet_ok}; LL foreign CPU {ll0:.0}s fault-free \
+                     vs {ll_heavy:.0}s at {heaviest} crashes/node-hour",
+                ),
+                ok: quiet_ok && heavy_fires && ll_heavy <= ll0,
+            });
+        }
+    }
 
     // Workload-realization cache: the fig07 policy sweeps must reuse one
     // synthesis across their 4 policies × 2 workloads (the tentpole claim
@@ -307,19 +438,27 @@ fn main() {
         ok: f7_hit_rate >= 0.75 || cache_after_f7.bypasses > cache_before_f7.bypasses,
     });
 
-    let ep = timings.time("ext_predictor", || linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 }));
-    note_artifact("ext_predictor", write_json("ext_predictor", &ep));
-    let pareto_best = ep
-        .iter()
-        .filter(|r| r.episodes.starts_with("pareto"))
-        .min_by(|a, b| a.mean_regret.partial_cmp(&b.mean_regret).unwrap())
-        .unwrap();
-    checks.push(Check {
-        name: "Ext: median-remaining-life optimal on Pareto episodes",
-        paper: "heuristic after Harchol-Balter & Downey".into(),
-        measured: format!("best Pareto rule: {}", pareto_best.rule),
-        ok: pareto_best.rule == "median-remaining-life",
-    });
+    match timings.time_caught("ext_predictor", || {
+        linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 })
+    }) {
+        None => checks.push(section_panicked("ext_predictor")),
+        Some(ep) => {
+            note_artifact("ext_predictor", write_json("ext_predictor", &ep));
+            let pareto_best = ep
+                .iter()
+                .filter(|r| r.episodes.starts_with("pareto"))
+                .min_by(|a, b| a.mean_regret.partial_cmp(&b.mean_regret).unwrap());
+            checks.push(Check {
+                name: "Ext: median-remaining-life optimal on Pareto episodes",
+                paper: "heuristic after Harchol-Balter & Downey".into(),
+                measured: format!(
+                    "best Pareto rule: {}",
+                    pareto_best.map(|r| r.rule.as_str()).unwrap_or("<none>")
+                ),
+                ok: pareto_best.is_some_and(|r| r.rule == "median-remaining-life"),
+            });
+        }
+    }
 
     println!("\n================= paper-vs-measured scorecard =================");
     let mut pass = 0;
@@ -342,6 +481,11 @@ fn main() {
         args.seed,
         if args.fast { " (fast mode)" } else { "" }
     );
+    if !timings.failed_sections.is_empty() {
+        let names: Vec<&str> =
+            timings.failed_sections.iter().map(|f| f.name.as_str()).collect();
+        eprintln!("[warn: {} section(s) panicked: {}]", names.len(), names.join(", "));
+    }
     timings.trace_cache = Some(TraceLibrary::global().stats());
     // Pre-cache wall-clock of the sections the realization cache targets,
     // recorded on the reference machine immediately before the change
@@ -358,5 +502,8 @@ fn main() {
     match timings.write("BENCH_runall.json") {
         Ok(()) => println!("[wrote BENCH_runall.json]"),
         Err(e) => eprintln!("[warn: could not write BENCH_runall.json: {e}]"),
+    }
+    if !timings.failed_sections.is_empty() {
+        std::process::exit(1);
     }
 }

@@ -692,6 +692,108 @@ pub fn ext_scaling(seed: u64, fast: bool) -> (Vec<ScalingPoint>, Vec<ScalingTimi
     ext_scaling_at(seed, &SCALING_NODE_COUNTS, fast)
 }
 
+// -------------------------------------------------- fault injection
+
+/// The failure grid of the fault sweep: crash rate per node-hour paired
+/// with an in-transit migration failure probability, from fault-free
+/// (which must be byte-identical to a run without fault injection) to
+/// aggressively unreliable.
+pub const FAULT_RATES: [(f64, f64); 5] =
+    [(0.0, 0.0), (0.2, 0.02), (1.0, 0.05), (4.0, 0.10), (12.0, 0.25)];
+
+/// Mean reboot downtime used by the fault sweep, seconds.
+pub const FAULT_MEAN_REBOOT_SECS: f64 = 300.0;
+
+/// One deterministic cell of the fault-injection sweep. Every field is a
+/// pure function of `(seed, fast)` — fault schedules are keyed by
+/// `(fault config, seed, node/job id)`, never by thread count — so the
+/// JSON byte-diffs across machines and `--jobs` settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPoint {
+    /// Mean crashes per node per hour of uptime.
+    pub crash_rate_per_hour: f64,
+    /// Mean reboot downtime, seconds.
+    pub mean_reboot_secs: f64,
+    /// Per-transfer in-transit failure probability.
+    pub migration_failure_prob: f64,
+    /// Policy abbreviation (LL / LF / IE / PM).
+    pub policy: String,
+    /// Windows simulated (horizon / 2 s).
+    pub windows: usize,
+    /// Jobs completed inside the horizon.
+    pub completed: usize,
+    /// Foreign CPU delivered over the horizon, seconds.
+    pub foreign_cpu_secs: f64,
+    /// Cluster-wide foreground delay ratio.
+    pub foreground_delay: f64,
+    /// Node crash events applied.
+    pub crashes: usize,
+    /// Crashes that killed a hosted (or inbound) job.
+    pub crash_evictions: usize,
+    /// Transfers lost in transit.
+    pub migration_failures: usize,
+    /// Retry transfers started after a failure.
+    pub migration_retries: usize,
+    /// Migrations abandoned after exhausting the retry budget.
+    pub migrations_abandoned: usize,
+}
+
+/// The fault-injection extension: all four policies across
+/// [`FAULT_RATES`] in constant-load throughput mode. Shows how much of
+/// the cycle-stealing throughput each policy keeps as the NOW degrades
+/// from the paper's perfectly reliable cluster to one where nodes crash
+/// several times an hour and a quarter of the transfers are lost.
+///
+/// Cells fan out via [`par_map_indexed`] and share one workload
+/// realization; results are byte-identical at any thread count.
+pub fn ext_faults(seed: u64, fast: bool) -> Vec<FaultPoint> {
+    let nodes = if fast { 16 } else { 64 };
+    let horizon = SimTime::from_secs(if fast { 600 } else { 3600 });
+    let trace_cfg = CoarseTraceConfig {
+        duration: SimDuration::from_secs(3600),
+        ..Default::default()
+    };
+    // One realization (traces + offsets + window table) shared by every
+    // cell of the grid.
+    let real = TraceLibrary::global().realize(&trace_cfg, seed, nodes);
+    let n_cells = FAULT_RATES.len() * Policy::ALL.len();
+    par_map_indexed(n_cells, None, |idx| {
+        let (crash_rate, mig_prob) = FAULT_RATES[idx / Policy::ALL.len()];
+        let policy = Policy::ALL[idx % Policy::ALL.len()];
+        let family =
+            JobFamily::uniform((2 * nodes) as u32, SimDuration::from_secs(300), 8 * 1024);
+        let mut cfg = linger_cluster::ClusterConfig::paper(policy, family);
+        cfg.nodes = nodes;
+        cfg.seed = seed;
+        cfg.trace = trace_cfg.clone();
+        cfg.mode = linger_cluster::RunMode::Throughput { horizon };
+        cfg.faults = linger_cluster::FaultConfig {
+            crash_rate_per_hour: crash_rate,
+            mean_reboot_secs: FAULT_MEAN_REBOOT_SECS,
+            migration_failure_prob: mig_prob,
+        };
+        let mut sim = linger_cluster::ClusterSim::with_realization(cfg, &real);
+        sim.run();
+        let windows = (sim.now().as_nanos() / linger_cluster::WINDOW.as_nanos()) as usize;
+        let fs = sim.fault_stats();
+        FaultPoint {
+            crash_rate_per_hour: crash_rate,
+            mean_reboot_secs: FAULT_MEAN_REBOOT_SECS,
+            migration_failure_prob: mig_prob,
+            policy: policy.abbrev().to_string(),
+            windows,
+            completed: sim.completed(),
+            foreign_cpu_secs: sim.foreign_cpu_delivered().as_secs_f64(),
+            foreground_delay: sim.foreground_delay_ratio(),
+            crashes: fs.crashes,
+            crash_evictions: fs.crash_evictions,
+            migration_failures: fs.migration_failures,
+            migration_retries: fs.migration_retries,
+            migrations_abandoned: fs.migrations_abandoned,
+        }
+    })
+}
+
 // -------------------------------------------------------- ablations
 
 /// One row of a scalar-parameter ablation.

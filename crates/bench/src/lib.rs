@@ -17,5 +17,7 @@ pub mod runner;
 
 pub use chart::AsciiChart;
 pub use experiments::*;
-pub use output::{write_json, Table};
-pub use runner::{RunTimings, Runner, SectionBaseline, SectionTiming};
+pub use output::{write_json, ArgError, Table};
+pub use runner::{
+    CellError, FailedCell, FailedSection, RunTimings, Runner, SectionBaseline, SectionTiming,
+};

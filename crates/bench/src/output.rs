@@ -71,13 +71,17 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serialize `value` as pretty JSON into `results/<name>.json`.
+///
+/// The write is atomic: bytes land in a same-directory temp file that is
+/// renamed over the target, so readers (and interrupted runs) never see
+/// a truncated result file.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let file = std::fs::File::create(&path)?;
-    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value)
+    let json = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    linger_sim_core::write_atomic(&path, json.as_bytes())?;
     Ok(path)
 }
 
@@ -100,45 +104,86 @@ pub struct HarnessArgs {
     pub jobs: usize,
 }
 
+/// Why the harness CLI arguments failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag that takes a value reached the end of the argument list.
+    MissingValue(&'static str),
+    /// A flag's value did not parse as the expected type.
+    InvalidValue {
+        /// The flag whose value was rejected.
+        flag: &'static str,
+        /// The offending value as given.
+        value: String,
+    },
+    /// An argument no figure binary understands.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            ArgError::InvalidValue { flag, value } => {
+                write!(f, "{flag} requires an integer, got '{value}'")
+            }
+            ArgError::Unknown(arg) => write!(f, "unknown argument '{arg}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// One-line usage string shared by every figure binary.
+pub const USAGE: &str = "usage: [--seed <n>] [--reps <n>] [--jobs <n>] [--fast]\n\
+     --seed <n>  master seed (default 1998)\n\
+     --reps <n>  replications where supported (default 1)\n\
+     --jobs <n>  worker threads, 0 = one per core (default 0)\n\
+     --fast      scaled-down smoke run";
+
 impl HarnessArgs {
-    /// Parse from `std::env::args` and apply `--jobs` process-wide.
+    /// Parse from `std::env::args` and apply `--jobs` process-wide. On a
+    /// bad command line, print the error and usage to stderr and exit
+    /// with a non-zero status instead of panicking.
     pub fn parse() -> Self {
-        let mut seed = 1998u64;
-        let mut fast = false;
-        let mut reps = 1u32;
-        let mut jobs = 0usize;
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed requires an integer");
-                }
-                "--reps" => {
-                    reps = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--reps requires an integer");
-                }
-                "--jobs" => {
-                    jobs = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--jobs requires an integer (0 = auto)");
-                }
-                "--fast" => fast = true,
-                other => {
-                    panic!(
-                        "unknown argument '{other}' \
-                         (expected --seed <n> | --reps <n> | --jobs <n> | --fast)"
-                    )
-                }
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => {
+                linger_sim_core::set_default_jobs(args.jobs);
+                args
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
             }
         }
-        linger_sim_core::set_default_jobs(jobs);
-        HarnessArgs { seed, fast, reps, jobs }
+    }
+
+    /// Parse an explicit argument list (no process-wide side effects).
+    pub fn try_parse<I>(args: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        fn value<I: Iterator<Item = String>>(
+            args: &mut I,
+            flag: &'static str,
+        ) -> Result<String, ArgError> {
+            args.next().ok_or(ArgError::MissingValue(flag))
+        }
+        fn int<T: std::str::FromStr>(flag: &'static str, v: String) -> Result<T, ArgError> {
+            v.parse().map_err(|_| ArgError::InvalidValue { flag, value: v })
+        }
+        let mut parsed = HarnessArgs { seed: 1998, fast: false, reps: 1, jobs: 0 };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--seed" => parsed.seed = int("--seed", value(&mut args, "--seed")?)?,
+                "--reps" => parsed.reps = int("--reps", value(&mut args, "--reps")?)?,
+                "--jobs" => parsed.jobs = int("--jobs", value(&mut args, "--jobs")?)?,
+                "--fast" => parsed.fast = true,
+                other => return Err(ArgError::Unknown(other.to_string())),
+            }
+        }
+        Ok(parsed)
     }
 }
 
@@ -182,8 +227,71 @@ mod tests {
         t.row(vec!["only one"]);
     }
 
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Serializes the tests that point `LINGER_RESULTS` at a temp dir.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn try_parse_accepts_all_flags() {
+        let a =
+            HarnessArgs::try_parse(sv(&["--seed", "7", "--fast", "--reps", "3", "--jobs", "4"]))
+                .unwrap();
+        assert_eq!(a.seed, 7);
+        assert!(a.fast);
+        assert_eq!(a.reps, 3);
+        assert_eq!(a.jobs, 4);
+    }
+
+    #[test]
+    fn try_parse_defaults() {
+        let a = HarnessArgs::try_parse(sv(&[])).unwrap();
+        assert_eq!((a.seed, a.fast, a.reps, a.jobs), (1998, false, 1, 0));
+    }
+
+    #[test]
+    fn try_parse_rejects_missing_and_bad_values() {
+        assert_eq!(
+            HarnessArgs::try_parse(sv(&["--seed"])).unwrap_err(),
+            ArgError::MissingValue("--seed")
+        );
+        assert_eq!(
+            HarnessArgs::try_parse(sv(&["--jobs", "many"])).unwrap_err(),
+            ArgError::InvalidValue { flag: "--jobs", value: "many".into() }
+        );
+        assert_eq!(
+            HarnessArgs::try_parse(sv(&["--frobnicate"])).unwrap_err(),
+            ArgError::Unknown("--frobnicate".into())
+        );
+    }
+
+    #[test]
+    fn arg_errors_display_usefully() {
+        assert_eq!(ArgError::MissingValue("--seed").to_string(), "--seed requires a value");
+        assert!(ArgError::Unknown("-x".into()).to_string().contains("'-x'"));
+        assert!(USAGE.contains("--jobs"));
+    }
+
+    #[test]
+    fn write_json_leaves_no_temp_files() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join("linger-bench-atomic-test");
+        std::env::set_var("LINGER_RESULTS", &dir);
+        write_json("atomic_unit", &42u32).unwrap();
+        std::env::remove_var("LINGER_RESULTS");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["atomic_unit.json".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn write_json_roundtrip() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = std::env::temp_dir().join("linger-bench-test");
         std::env::set_var("LINGER_RESULTS", &dir);
         let path = write_json("unit_test", &vec![1, 2, 3]).unwrap();

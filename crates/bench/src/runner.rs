@@ -15,9 +15,12 @@
 //! module adds the harness-level vocabulary (replication seeding, timed
 //! sections for `BENCH_runall.json`).
 
-use linger_sim_core::{par_map_indexed, replication_seed};
+use linger_sim_core::{
+    par_map_indexed, replication_seed, try_par_map_indexed, write_atomic, CellPanic,
+};
 use linger_workload::TraceCacheStats;
 use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A deterministic fan-out executor for independent experiment units.
 ///
@@ -64,7 +67,71 @@ impl Runner {
     {
         self.run(reps, |r| f(replication_seed(base_seed, r as u64)))
     }
+
+    /// Like [`Runner::run`], but a unit that panics yields a structured
+    /// [`CellError`] in its slot instead of tearing down the sweep; the
+    /// remaining units complete normally. `base_seed` annotates each
+    /// error with the seed the failing unit would have derived via
+    /// [`replication_seed`], so the cell can be re-run in isolation.
+    pub fn try_run<U, F>(&self, n: usize, base_seed: u64, f: F) -> Vec<Result<U, CellError>>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        try_par_map_indexed(n, self.jobs, f)
+            .into_iter()
+            .map(|r| r.map_err(|p| CellError::from_panic(p, base_seed)))
+            .collect()
+    }
+
+    /// Panic-isolating [`Runner::replicate`]: failed replications come
+    /// back as [`CellError`]s (carrying their replication seed), the
+    /// rest complete.
+    pub fn try_replicate<U, F>(
+        &self,
+        base_seed: u64,
+        reps: usize,
+        f: F,
+    ) -> Vec<Result<U, CellError>>
+    where
+        U: Send,
+        F: Fn(u64) -> U + Sync,
+    {
+        self.try_run(reps, base_seed, |r| f(replication_seed(base_seed, r as u64)))
+    }
 }
+
+/// One failed unit of a fan-out: which cell, the seed it ran under, and
+/// the panic payload — enough to re-run the cell in isolation while the
+/// rest of the sweep's results stand.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CellError {
+    /// Index of the failed unit within its sweep.
+    pub index: usize,
+    /// Seed the unit derived (via [`replication_seed`] from the sweep's
+    /// base seed).
+    pub seed: u64,
+    /// Stringified panic payload.
+    pub payload: String,
+}
+
+impl CellError {
+    fn from_panic(p: CellPanic, base_seed: u64) -> Self {
+        CellError {
+            index: p.index,
+            seed: replication_seed(base_seed, p.index as u64),
+            payload: p.payload,
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} (seed {}) panicked: {}", self.index, self.seed, self.payload)
+    }
+}
+
+impl std::error::Error for CellError {}
 
 /// Wall-clock timing of one named section (one figure in `run_all`).
 #[derive(Debug, Clone, Serialize)]
@@ -96,8 +163,36 @@ pub struct RunTimings {
     /// Recorded before→after wall-clock comparisons for sections whose
     /// speedup a PR claims (machine-dependent; informational).
     pub baselines: Vec<SectionBaseline>,
+    /// Sections that panicked under [`RunTimings::time_caught`]; the run
+    /// continued past them.
+    pub failed_sections: Vec<FailedSection>,
+    /// Individual sweep cells that panicked (recorded via
+    /// [`RunTimings::record_cell_errors`]) while their sweep completed.
+    pub failed_cells: Vec<FailedCell>,
     /// Total wall-clock seconds.
     pub total_secs: f64,
+}
+
+/// A section that panicked instead of completing.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailedSection {
+    /// Section name (matches [`SectionTiming::name`]).
+    pub name: String,
+    /// Stringified panic payload.
+    pub error: String,
+}
+
+/// A [`CellError`] annotated with the section whose sweep it belongs to.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailedCell {
+    /// Section name.
+    pub section: String,
+    /// Index of the failed unit within the sweep.
+    pub index: usize,
+    /// Seed the unit ran under.
+    pub seed: u64,
+    /// Stringified panic payload.
+    pub payload: String,
 }
 
 /// A section's wall-clock against a recorded pre-change baseline.
@@ -143,11 +238,55 @@ impl RunTimings {
         out
     }
 
-    /// Write the ledger as pretty JSON to `path` (best effort).
+    /// Like [`RunTimings::time`], but a panic inside `f` is caught and
+    /// recorded under [`RunTimings::failed_sections`] instead of tearing
+    /// down the whole run; the section's wall-clock (up to the panic) is
+    /// still logged, and `None` is returned so the caller can skip the
+    /// section's checks and move on.
+    pub fn time_caught<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> Option<T> {
+        let t0 = std::time::Instant::now();
+        let out = catch_unwind(AssertUnwindSafe(f));
+        let secs = t0.elapsed().as_secs_f64();
+        self.sections.push(SectionTiming { name: name.to_string(), secs });
+        self.total_secs += secs;
+        match out {
+            Ok(v) => Some(v),
+            Err(payload) => {
+                let error = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("[warn: section {name} panicked: {error}]");
+                self.failed_sections.push(FailedSection { name: name.to_string(), error });
+                None
+            }
+        }
+    }
+
+    /// Record the failed cells of a sweep under `section`.
+    pub fn record_cell_errors<'a>(
+        &mut self,
+        section: &str,
+        errors: impl IntoIterator<Item = &'a CellError>,
+    ) {
+        for e in errors {
+            self.failed_cells.push(FailedCell {
+                section: section.to_string(),
+                index: e.index,
+                seed: e.seed,
+                payload: e.payload.clone(),
+            });
+        }
+    }
+
+    /// Write the ledger as pretty JSON to `path`, atomically: the bytes
+    /// land in a same-directory temp file that is renamed over `path`,
+    /// so a crash mid-write never leaves a truncated ledger behind.
     pub fn write(&self, path: &str) -> std::io::Result<()> {
-        let file = std::fs::File::create(path)?;
-        serde_json::to_writer_pretty(std::io::BufWriter::new(file), self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        write_atomic(path, json.as_bytes())
     }
 }
 
@@ -167,6 +306,84 @@ mod tests {
     fn replicate_seeds_follow_the_serial_sequence() {
         let seeds = Runner::with_jobs(4).replicate(1998, 8, |s| s);
         assert_eq!(seeds, (1998..2006).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn try_run_isolates_panics_and_annotates_seeds() {
+        for jobs in [1, 4] {
+            let out = Runner::with_jobs(jobs).try_run(8, 1998, |i| {
+                assert!(i != 3, "cell 3 exploded");
+                i * 10
+            });
+            assert_eq!(out.len(), 8);
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 3);
+                    assert_eq!(e.seed, 2001, "seed = replication_seed(1998, 3)");
+                    assert!(e.payload.contains("cell 3 exploded"), "payload: {}", e.payload);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_replicate_reports_failing_seed() {
+        let out = Runner::with_jobs(2).try_replicate(100, 4, |seed| {
+            assert!(seed != 102, "bad seed");
+            seed
+        });
+        assert!(out[0].is_ok() && out[1].is_ok() && out[3].is_ok());
+        assert_eq!(out[2].as_ref().unwrap_err().seed, 102);
+    }
+
+    #[test]
+    fn time_caught_records_failures_and_continues() {
+        let mut t = RunTimings::new(1, 7, true);
+        let ok = t.time_caught("good", || 1);
+        let bad: Option<i32> = t.time_caught("bad", || panic!("kaboom"));
+        assert_eq!(ok, Some(1));
+        assert_eq!(bad, None);
+        assert_eq!(t.sections.len(), 2, "both sections timed");
+        assert_eq!(t.failed_sections.len(), 1);
+        assert_eq!(t.failed_sections[0].name, "bad");
+        assert!(t.failed_sections[0].error.contains("kaboom"));
+    }
+
+    #[test]
+    fn cell_errors_land_in_the_ledger() {
+        let mut t = RunTimings::new(1, 7, false);
+        let out = Runner::with_jobs(1).try_run(3, 50, |i| {
+            assert!(i != 1, "boom");
+            i
+        });
+        let errs: Vec<&CellError> = out.iter().filter_map(|r| r.as_ref().err()).collect();
+        t.record_cell_errors("sweep", errs);
+        assert_eq!(t.failed_cells.len(), 1);
+        assert_eq!(t.failed_cells[0].section, "sweep");
+        assert_eq!(t.failed_cells[0].index, 1);
+        assert_eq!(t.failed_cells[0].seed, 51);
+    }
+
+    #[test]
+    fn write_is_atomic_and_valid_json() {
+        let dir = std::env::temp_dir().join("linger-bench-runner-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timings.json");
+        let mut t = RunTimings::new(2, 9, true);
+        t.time("a", || ());
+        t.write(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"seed\": 9"), "ledger JSON: {text}");
+        // No temp droppings next to the ledger.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name() != "timings.json")
+            .count();
+        assert_eq!(leftovers, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

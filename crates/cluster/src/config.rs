@@ -1,5 +1,6 @@
 //! Cluster experiment configuration.
 
+use crate::faults::FaultConfig;
 use crate::network::NetworkModel;
 use linger::{JobFamily, Policy, PolicyParams};
 use linger_sim_core::{SimDuration, SimTime};
@@ -43,6 +44,10 @@ pub struct ClusterConfig {
     /// per-flow cost from [`linger::MigrationCostModel`]; `Some` makes
     /// concurrent migrations contend for the backbone.
     pub network: Option<NetworkModel>,
+    /// Fault injection (node crashes and migration failures). The
+    /// default is fully disabled, which leaves every run bit-identical
+    /// to a fault-free simulation.
+    pub faults: FaultConfig,
     /// Master seed.
     pub seed: u64,
     /// Safety horizon for family mode (a run that exceeds it aborts).
@@ -65,6 +70,7 @@ impl ClusterConfig {
             table: BurstParamTable::paper_calibrated(),
             node_memory_kb: TOTAL_MEMORY_KB,
             network: None,
+            faults: FaultConfig::disabled(),
             seed: 0,
             max_time: SimTime::from_secs(24 * 3600),
         }

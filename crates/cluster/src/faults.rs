@@ -1,0 +1,268 @@
+//! Deterministic fault injection: node crash/reboot processes and
+//! in-transit migration failures.
+//!
+//! The paper's simulations assume a perfectly reliable network of
+//! workstations; on a real NOW, machines reboot and transfers get cut
+//! short. This module injects both failure modes **deterministically**:
+//! every fault is a pure function of `(fault config, master seed, node or
+//! job identity)`, never of scheduling order or thread count, so a faulty
+//! run is exactly as reproducible as a fault-free one and a sweep is
+//! byte-identical at any `--jobs` setting.
+//!
+//! Two independent processes, each on its own RNG domain:
+//!
+//! * **Node crashes** ([`domains::NODE_FAULTS`], one stream per node):
+//!   alternating Exp-distributed uptime gaps and reboot downtimes,
+//!   pre-materialized into a window-aligned event schedule at
+//!   construction. A crashed node leaves every scheduling set and kills
+//!   whatever it hosted; it rejoins when its reboot completes.
+//! * **Migration failures** ([`domains::MIGRATION_FAULTS`], one draw per
+//!   transfer attempt, keyed by `(job id, lifetime transfer number)`):
+//!   a completed transfer is declared lost with probability
+//!   `migration_failure_prob`, triggering the retry-with-backoff path in
+//!   [`linger::MigrationRetryPolicy`].
+//!
+//! With both knobs at zero the model generates no events, draws no random
+//! numbers, and the simulation is bit-identical to one built before fault
+//! injection existed.
+
+use linger_sim_core::{domains, RngFactory};
+use linger_stats::{Distribution, Exponential};
+use linger_workload::SAMPLE_PERIOD_SECS;
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection knobs. The default ([`FaultConfig::disabled`]) turns
+/// both failure processes off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Mean crashes per node per hour of uptime (Poisson process;
+    /// `0` disables crashes entirely).
+    pub crash_rate_per_hour: f64,
+    /// Mean downtime of a reboot, seconds (exponentially distributed,
+    /// rounded up to whole windows).
+    pub mean_reboot_secs: f64,
+    /// Probability that any single migration transfer attempt is lost in
+    /// transit (`0` disables migration failures).
+    pub migration_failure_prob: f64,
+}
+
+impl FaultConfig {
+    /// No faults: crash rate zero and migration failures impossible.
+    pub const fn disabled() -> Self {
+        FaultConfig {
+            crash_rate_per_hour: 0.0,
+            mean_reboot_secs: 120.0,
+            migration_failure_prob: 0.0,
+        }
+    }
+
+    /// Does either failure process do anything?
+    pub fn enabled(&self) -> bool {
+        self.crash_rate_per_hour > 0.0 || self.migration_failure_prob > 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// What happens to a node at a fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// The node goes down, losing any hosted or in-flight job.
+    Crash,
+    /// The node's reboot completes; it rejoins the free pool.
+    Reboot,
+}
+
+/// One scheduled node fault, aligned to a window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Window index at which the event fires.
+    pub window: usize,
+    /// The affected node.
+    pub node: usize,
+    /// Crash or reboot.
+    pub kind: FaultEventKind,
+}
+
+/// Counters the simulator accumulates while faults are active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Node crash events applied.
+    pub crashes: usize,
+    /// Crashes that killed a hosted (or inbound) job.
+    pub crash_evictions: usize,
+    /// Migration transfer attempts lost in transit.
+    pub migration_failures: usize,
+    /// Retry transfers started after a failure.
+    pub migration_retries: usize,
+    /// Migrations abandoned after exhausting the retry budget.
+    pub migrations_abandoned: usize,
+}
+
+/// The realized fault schedule for one simulation run.
+///
+/// Crash/reboot events are pre-materialized (sorted by `(window, node)`)
+/// so the simulator consumes them with a cursor in O(1) per window;
+/// migration-failure draws are made lazily but keyed purely by
+/// `(job id, transfer number)`, independent of evaluation order.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    cfg: FaultConfig,
+    rng: RngFactory,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultModel {
+    /// Materialize the schedule for `nodes` nodes over `max_windows`
+    /// windows from `seed`. A zero crash rate yields an empty schedule
+    /// without touching any RNG stream.
+    pub fn new(cfg: FaultConfig, seed: u64, nodes: usize, max_windows: usize) -> Self {
+        let rng = RngFactory::new(seed);
+        let mut events = Vec::new();
+        if cfg.crash_rate_per_hour > 0.0 {
+            let uptime = Exponential::with_mean(3600.0 / cfg.crash_rate_per_hour);
+            let downtime = Exponential::with_mean(cfg.mean_reboot_secs.max(1e-9));
+            let wsecs = SAMPLE_PERIOD_SECS as f64;
+            for node in 0..nodes {
+                let mut r = rng.stream_for(domains::NODE_FAULTS, node as u64);
+                let mut w = 0usize;
+                loop {
+                    let gap = (uptime.sample(&mut r) / wsecs).ceil().max(1.0) as usize;
+                    w = w.saturating_add(gap);
+                    if w >= max_windows {
+                        break;
+                    }
+                    events.push(FaultEvent { window: w, node, kind: FaultEventKind::Crash });
+                    let down = (downtime.sample(&mut r) / wsecs).ceil().max(1.0) as usize;
+                    w = w.saturating_add(down);
+                    if w >= max_windows {
+                        break; // node stays down past the horizon
+                    }
+                    events.push(FaultEvent { window: w, node, kind: FaultEventKind::Reboot });
+                }
+            }
+            // Per node the events already alternate in increasing window
+            // order; the merge across nodes fixes a global order (ties
+            // broken by node id) so the simulator applies same-window
+            // events deterministically.
+            events.sort_unstable_by_key(|e| (e.window, e.node));
+        }
+        FaultModel { cfg, rng, events }
+    }
+
+    /// The configuration this schedule was drawn from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// The crash/reboot schedule, sorted by `(window, node)`.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Does transfer number `transfer_seq` of job `job` fail in transit?
+    ///
+    /// Pure in `(config, seed, job, transfer_seq)`: the draw comes from a
+    /// dedicated stream per `(job, transfer_seq)` pair, so it does not
+    /// depend on when (or in what order) the simulator asks.
+    pub fn migration_fails(&self, job: u32, transfer_seq: u32) -> bool {
+        if self.cfg.migration_failure_prob <= 0.0 {
+            return false;
+        }
+        let key = ((job as u64) << 32) | transfer_seq as u64;
+        let mut r = self.rng.stream_for(domains::MIGRATION_FAULTS, key);
+        use rand::Rng;
+        r.random::<f64>() < self.cfg.migration_failure_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: f64, reboot: f64, prob: f64) -> FaultConfig {
+        FaultConfig {
+            crash_rate_per_hour: rate,
+            mean_reboot_secs: reboot,
+            migration_failure_prob: prob,
+        }
+    }
+
+    #[test]
+    fn disabled_model_is_empty_and_never_fails() {
+        let m = FaultModel::new(FaultConfig::disabled(), 1998, 64, 100_000);
+        assert!(m.events().is_empty());
+        assert!(!m.migration_fails(0, 1));
+        assert!(!FaultConfig::disabled().enabled());
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_config_and_seed() {
+        let a = FaultModel::new(cfg(2.0, 300.0, 0.1), 42, 32, 50_000);
+        let b = FaultModel::new(cfg(2.0, 300.0, 0.1), 42, 32, 50_000);
+        assert_eq!(a.events(), b.events());
+        let c = FaultModel::new(cfg(2.0, 300.0, 0.1), 43, 32, 50_000);
+        assert_ne!(a.events(), c.events(), "different seed, different schedule");
+    }
+
+    #[test]
+    fn events_alternate_crash_reboot_per_node() {
+        let m = FaultModel::new(cfg(6.0, 120.0, 0.0), 7, 16, 100_000);
+        assert!(!m.events().is_empty());
+        for node in 0..16 {
+            let mut expect = FaultEventKind::Crash;
+            let mut last_w = 0;
+            for e in m.events().iter().filter(|e| e.node == node) {
+                assert_eq!(e.kind, expect, "node {node}");
+                assert!(e.window > last_w, "strictly increasing windows");
+                last_w = e.window;
+                expect = match expect {
+                    FaultEventKind::Crash => FaultEventKind::Reboot,
+                    FaultEventKind::Reboot => FaultEventKind::Crash,
+                };
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_bounded() {
+        let m = FaultModel::new(cfg(12.0, 600.0, 0.0), 9, 8, 20_000);
+        let mut prev = (0usize, 0usize);
+        for e in m.events() {
+            assert!(e.window < 20_000);
+            assert!((e.window, e.node) >= prev, "sorted by (window, node)");
+            prev = (e.window, e.node);
+        }
+    }
+
+    #[test]
+    fn higher_crash_rate_means_more_events() {
+        let lo = FaultModel::new(cfg(0.5, 120.0, 0.0), 5, 32, 100_000);
+        let hi = FaultModel::new(cfg(8.0, 120.0, 0.0), 5, 32, 100_000);
+        assert!(hi.events().len() > lo.events().len());
+    }
+
+    #[test]
+    fn migration_failure_draw_is_deterministic_per_key() {
+        let m = FaultModel::new(cfg(0.0, 120.0, 0.5), 11, 4, 1000);
+        for job in 0..50u32 {
+            for seq in 1..4u32 {
+                assert_eq!(m.migration_fails(job, seq), m.migration_fails(job, seq));
+            }
+        }
+        // Extremes are certain.
+        let never = FaultModel::new(cfg(0.0, 120.0, 0.0), 11, 4, 1000);
+        let always = FaultModel::new(cfg(0.0, 120.0, 1.0), 11, 4, 1000);
+        for job in 0..20u32 {
+            assert!(!never.migration_fails(job, 1));
+            assert!(always.migration_fails(job, 1));
+        }
+        // Roughly half fail at p = 0.5.
+        let fails = (0..1000u32).filter(|&j| m.migration_fails(j, 1)).count();
+        assert!((300..700).contains(&fails), "p=0.5 hit {fails}/1000");
+    }
+}

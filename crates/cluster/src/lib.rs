@@ -7,6 +7,8 @@
 //! model.
 //!
 //! * [`config`] — experiment configuration (the paper's 64-node setup);
+//! * [`faults`] — deterministic fault injection (node crash/reboot
+//!   schedules and in-transit migration failures);
 //! * [`state`] — job lifecycle states and the Fig 8 breakdown;
 //! * [`network`] — the shared migration network (eviction-storm
 //!   contention);
@@ -34,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod sim;
 pub mod state;
 
 pub use config::{ClusterConfig, RunMode};
+pub use faults::{FaultConfig, FaultEvent, FaultEventKind, FaultModel, FaultStats};
 pub use metrics::{
     evaluate_policy, evaluate_policy_replicated, policy_comparison, BreakdownSecs, Estimate,
     PolicyMetrics, ReplicatedMetrics,

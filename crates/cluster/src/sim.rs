@@ -13,6 +13,7 @@
 //! size"), gated by the two-pool memory model's admission check.
 
 use crate::config::{ClusterConfig, RunMode};
+use crate::faults::{FaultEventKind, FaultModel, FaultStats};
 use crate::state::{JobRecord, JobState, NodeId, NodeState};
 use linger::cost::should_migrate;
 use linger::{JobId, JobSpec, Policy};
@@ -73,6 +74,16 @@ pub struct ClusterSim {
     /// simulator over the same realization; `None` when the traces have
     /// unequal periods.
     window_table: Option<Arc<WindowTable>>,
+    /// Pre-materialized crash/reboot schedule and migration-failure
+    /// draws; empty/quiet when `cfg.faults` is disabled.
+    faults: FaultModel,
+    /// Nodes currently down. A crashed node is in none of `free`,
+    /// `free_idle`, or `busy` until its reboot event fires.
+    crashed: NodeIndex,
+    /// Cursor into `faults.events()` (sorted by window).
+    fault_cursor: usize,
+    /// Fault counters accumulated over the run.
+    fault_stats: FaultStats,
 }
 
 impl ClusterSim {
@@ -143,6 +154,15 @@ impl ClusterSim {
         let queue = (0..jobs.len()).collect();
         let next_job_id = jobs.len() as u32;
         let n = cfg.nodes;
+        // The fault schedule spans the run's hard horizon; events are a
+        // pure function of (faults config, seed, node), so two runs of
+        // the same config realize identical failures.
+        let horizon = match cfg.mode {
+            RunMode::Family => cfg.max_time,
+            RunMode::Throughput { horizon } => horizon,
+        };
+        let max_windows = (horizon.as_nanos() / WINDOW.as_nanos()) as usize + 1;
+        let faults = FaultModel::new(cfg.faults, cfg.seed, n, max_windows);
         ClusterSim {
             cfg,
             nodes,
@@ -163,6 +183,10 @@ impl ClusterSim {
             place_scratch: VecDeque::new(),
             migrating: Vec::new(),
             window_table,
+            faults,
+            crashed: NodeIndex::new(n),
+            fault_cursor: 0,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -194,6 +218,12 @@ impl ClusterSim {
     /// Number of completed jobs.
     pub fn completed(&self) -> usize {
         self.completed
+    }
+
+    /// Fault-injection counters accumulated so far (all zero when
+    /// `cfg.faults` is disabled).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Run to the configured termination condition. Returns `true` on
@@ -256,6 +286,22 @@ impl ClusterSim {
             }
         }
 
+        // 1. Fault events. A crash knocks the node out of every
+        //    scheduling set and kills whatever it hosted (or was
+        //    receiving); a reboot returns it to the free pool. The
+        //    schedule is pre-sorted by window, so this is a cursor
+        //    advance — O(1) per window when no faults are configured.
+        while let Some(&ev) = self.faults.events().get(self.fault_cursor) {
+            if ev.window > w {
+                break;
+            }
+            self.fault_cursor += 1;
+            match ev.kind {
+                FaultEventKind::Crash => self.crash_node(ev.node, t),
+                FaultEventKind::Reboot => self.reboot_node(ev.node),
+            }
+        }
+
         // 2. Shared-network transfer progress, then migration arrivals.
         //    `migrating` is a superset of the in-flight jobs, so working
         //    from it (sorted — the ascending order the old full job-table
@@ -293,7 +339,16 @@ impl ClusterSim {
             let fixed_done = j.migration_until.is_some_and(|until| t >= until);
             let bits_done = j.migration_bits_left.is_none_or(|b| b <= 0.0);
             if j.state == JobState::Migrating && fixed_done && bits_done {
-                self.arrive(ji, t);
+                if self.faults.migration_fails(j.spec.id.0, j.transfer_seq) {
+                    // The image was lost in transit: free the reserved
+                    // destination and retry with backoff (or abandon).
+                    self.fault_stats.migration_failures += 1;
+                    let dest = j.node.expect("migration has a destination");
+                    self.release_node(dest);
+                    self.retry_migration(ji, t);
+                } else {
+                    self.arrive(ji, t);
+                }
             }
         }
         mig.retain(|&ji| self.jobs[ji].state == JobState::Migrating);
@@ -451,13 +506,98 @@ impl ClusterSim {
             Some(dest) => self.migrate(ji, node, dest, t),
             None => {
                 self.release_node(node);
-                self.jobs[ji].state = JobState::Queued;
-                self.jobs[ji].node = None;
-                self.jobs[ji].episode_start = None;
-                self.jobs[ji].pause_deadline = None;
-                self.queue.push_back(ji);
+                self.requeue(ji);
             }
         }
+    }
+
+    /// Return a job to the central queue with no node and no in-flight
+    /// migration state.
+    fn requeue(&mut self, ji: usize) {
+        let j = &mut self.jobs[ji];
+        j.state = JobState::Queued;
+        j.node = None;
+        j.episode_start = None;
+        j.pause_deadline = None;
+        j.migration_until = None;
+        j.migration_bits_left = None;
+        j.migration_attempts = 0;
+        self.queue.push_back(ji);
+    }
+
+    /// A node crashes: it leaves every scheduling set, and the job it
+    /// hosted — running, lingering, paused, or still in transit toward
+    /// it — is lost and must restart elsewhere from its last checkpoint
+    /// (re-placement of a `has_run` job pays a full migration).
+    fn crash_node(&mut self, ni: usize, t: SimTime) {
+        if self.crashed.contains(ni) {
+            return;
+        }
+        self.crashed.insert(ni);
+        self.fault_stats.crashes += 1;
+        self.free.remove(ni);
+        self.free_idle.remove(ni);
+        if let Some(ji) = self.nodes[ni].hosted {
+            self.nodes[ni].memory.detach_foreign();
+            self.nodes[ni].hosted = None;
+            self.busy.remove(ni);
+            self.fault_stats.crash_evictions += 1;
+            self.jobs[ji].crashes += 1;
+            if self.jobs[ji].state == JobState::Migrating {
+                // The in-flight image died with its destination; retry
+                // toward a fresh one under the same backoff budget.
+                self.retry_migration(ji, t);
+            } else {
+                self.requeue(ji);
+            }
+        }
+    }
+
+    /// A crashed node's reboot completes: it rejoins the free pool (and
+    /// the idle candidate set if its owner workload is idle).
+    fn reboot_node(&mut self, ni: usize) {
+        if !self.crashed.contains(ni) {
+            return;
+        }
+        self.crashed.remove(ni);
+        self.free.insert(ni);
+        if self.idle_w[ni] {
+            self.free_idle.insert(ni);
+        }
+    }
+
+    /// A transfer attempt failed (in transit or by destination crash):
+    /// start the next attempt toward the best destination after a capped
+    /// exponential backoff plus checkpoint-restart cost, or abandon the
+    /// migration once the attempt budget is spent. The caller has
+    /// already released (or lost) the previous destination.
+    fn retry_migration(&mut self, ji: usize, t: SimTime) {
+        let attempt = self.jobs[ji].migration_attempts.max(1);
+        let retry = self.cfg.params.retry;
+        if attempt >= retry.max_attempts {
+            self.fault_stats.migrations_abandoned += 1;
+            self.requeue(ji);
+            return;
+        }
+        let spec = self.jobs[ji].spec;
+        let Some(dest) = self.best_destination(spec, None) else {
+            // Nowhere to retry toward; fall back to the queue instead of
+            // burning attempts against a saturated cluster.
+            self.requeue(ji);
+            return;
+        };
+        self.fault_stats.migration_retries += 1;
+        let start = t + retry.retry_delay(attempt - 1);
+        let (until, bits) = self.migration_terms(spec.mem_kb, start);
+        let j = &mut self.jobs[ji];
+        j.state = JobState::Migrating;
+        j.node = Some(dest);
+        j.migration_until = Some(until);
+        j.migration_bits_left = bits;
+        j.migration_attempts = attempt + 1;
+        j.transfer_seq += 1;
+        self.migrating.push(ji);
+        self.claim_node(dest, ji);
     }
 
     /// Begin a migration from `from` to the reserved `dest`.
@@ -472,6 +612,8 @@ impl ClusterSim {
         j.episode_start = None;
         j.pause_deadline = None;
         j.migrations += 1;
+        j.migration_attempts = 1;
+        j.transfer_seq += 1;
         self.migrating.push(ji);
         self.claim_node(dest, ji); // reserve
     }
@@ -501,6 +643,7 @@ impl ClusterSim {
         let j = &mut self.jobs[ji];
         j.migration_until = None;
         j.migration_bits_left = None;
+        j.migration_attempts = 0;
         j.has_run = true;
         if j.first_start.is_none() {
             j.first_start = Some(t);
@@ -642,6 +785,8 @@ impl ClusterSim {
                         j.migration_until = Some(until);
                         j.migration_bits_left = bits;
                         j.migrations += 1;
+                        j.migration_attempts = 1;
+                        j.transfer_seq += 1;
                         self.migrating.push(ji);
                     } else {
                         self.nodes[dest.0].memory.attach_foreign(spec.mem_kb);
@@ -816,6 +961,120 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn crashes_evict_jobs_and_nodes_recover() {
+        let mut cfg = small_cfg(Policy::LingerLonger);
+        cfg.faults = crate::faults::FaultConfig {
+            crash_rate_per_hour: 30.0,
+            mean_reboot_secs: 60.0,
+            migration_failure_prob: 0.0,
+        };
+        let mut sim = ClusterSim::new(cfg);
+        assert!(sim.run(), "family must still complete under crashes");
+        assert_eq!(sim.completed(), 8);
+        let fs = sim.fault_stats();
+        assert!(fs.crashes > 0, "30 crashes/node-hour must fire");
+        // Reboots are ~1 min; by completion most nodes should be back.
+        for j in sim.jobs() {
+            assert_eq!(j.state, JobState::Done);
+            assert_eq!(j.remaining, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn node_indices_respect_crashed_nodes() {
+        let mut cfg = small_cfg(Policy::LingerLonger);
+        cfg.faults = crate::faults::FaultConfig {
+            crash_rate_per_hour: 40.0,
+            mean_reboot_secs: 120.0,
+            migration_failure_prob: 0.2,
+        };
+        let mut sim = ClusterSim::new(cfg);
+        let mut saw_crashed = false;
+        for _ in 0..900 {
+            sim.step();
+            for ni in 0..sim.nodes.len() {
+                if sim.crashed.contains(ni) {
+                    saw_crashed = true;
+                    assert!(!sim.free.contains(ni), "crashed node in free");
+                    assert!(!sim.busy.contains(ni), "crashed node in busy");
+                    assert!(!sim.free_idle.contains(ni), "crashed node in free_idle");
+                    assert!(sim.nodes[ni].hosted.is_none(), "crashed node hosts a job");
+                } else {
+                    assert_eq!(sim.free.contains(ni), sim.nodes[ni].hosted.is_none());
+                    assert_eq!(sim.busy.contains(ni), sim.nodes[ni].hosted.is_some());
+                }
+            }
+        }
+        assert!(saw_crashed, "the fault schedule must down at least one node");
+    }
+
+    #[test]
+    fn migration_failures_retry_and_jobs_still_finish() {
+        // Heavier than `small_cfg` so IE performs plenty of transfers.
+        let mut cfg = ClusterConfig::paper(
+            Policy::ImmediateEviction,
+            JobFamily::uniform(16, SimDuration::from_secs(600), 8 * 1024),
+        );
+        cfg.nodes = 8;
+        cfg.trace.duration = SimDuration::from_secs(6 * 3600);
+        cfg.seed = 11;
+        cfg.faults = crate::faults::FaultConfig {
+            crash_rate_per_hour: 0.0,
+            mean_reboot_secs: 120.0,
+            migration_failure_prob: 0.5,
+        };
+        let mut sim = ClusterSim::new(cfg);
+        assert!(sim.run(), "family must complete despite transfer failures");
+        assert_eq!(sim.completed(), 16);
+        let fs = sim.fault_stats();
+        assert_eq!(fs.crashes, 0);
+        assert!(fs.migration_failures > 0, "p=0.5 must lose some transfers");
+        assert!(
+            fs.migration_retries > 0 || fs.migrations_abandoned > 0,
+            "failed transfers must retry or abandon"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_given_seed() {
+        let run = || {
+            let mut cfg = small_cfg(Policy::LingerLonger);
+            cfg.faults = crate::faults::FaultConfig {
+                crash_rate_per_hour: 20.0,
+                mean_reboot_secs: 90.0,
+                migration_failure_prob: 0.3,
+            };
+            let mut sim = ClusterSim::new(cfg);
+            sim.run();
+            let fs = sim.fault_stats();
+            let times: Vec<u64> = sim
+                .jobs()
+                .iter()
+                .filter_map(|j| j.completed_at.map(|t| t.as_nanos()))
+                .collect();
+            (fs, times)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disabled_fault_params_do_not_perturb_runs() {
+        // With crash rate and failure probability at zero, the *other*
+        // fault knobs must not leak into the simulation at all.
+        let run = |reboot: f64| {
+            let mut cfg = small_cfg(Policy::LingerLonger);
+            cfg.faults.mean_reboot_secs = reboot;
+            let mut sim = ClusterSim::new(cfg);
+            sim.run();
+            sim.jobs()
+                .iter()
+                .map(|j| j.completed_at.unwrap().as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(120.0), run(999_999.0));
     }
 
     #[test]

@@ -102,6 +102,14 @@ pub struct JobRecord {
     pub breakdown: StateBreakdown,
     /// Number of migrations (including evictions) the job suffered.
     pub migrations: u32,
+    /// Transfer attempts made for the migration currently in flight
+    /// (1 on the first attempt; reset when the job arrives or requeues).
+    pub migration_attempts: u32,
+    /// Lifetime count of transfer starts — the RNG key for in-transit
+    /// failure draws, unique per attempt across the job's whole life.
+    pub transfer_seq: u32,
+    /// Times a node crash killed this job (hosted or inbound).
+    pub crashes: u32,
 }
 
 impl JobRecord {
@@ -121,6 +129,9 @@ impl JobRecord {
             has_run: false,
             breakdown: StateBreakdown::default(),
             migrations: 0,
+            migration_attempts: 0,
+            transfer_seq: 0,
+            crashes: 0,
         }
     }
 

@@ -44,7 +44,7 @@ pub mod policy;
 pub mod predictor;
 
 pub use job::{JobFamily, JobId, JobSpec};
-pub use migration::MigrationCostModel;
+pub use migration::{MigrationCostModel, MigrationRetryPolicy};
 pub use params::{PolicyParams, DEFAULT_CONTEXT_SWITCH, DEFAULT_PAUSE_TIMEOUT};
 pub use policy::Policy;
 

@@ -68,6 +68,66 @@ impl Default for MigrationCostModel {
     }
 }
 
+/// Retry schedule for migrations that fail in transit (fault injection).
+///
+/// The paper assumes migrations always succeed; on a real network of
+/// workstations a transfer can be cut short by the destination crashing
+/// or the image being dropped mid-stream. A failed attempt is retried
+/// after a capped exponential backoff, and each retry pays a
+/// checkpoint-restart term on top of the full transfer cost: the image
+/// must be re-captured from the last consistent checkpoint before it can
+/// be re-sent. After `max_attempts` the migration is abandoned and the
+/// job returns to the central queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRetryPolicy {
+    /// Maximum transfer attempts per migration, including the first.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub base_backoff: SimDuration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: SimDuration,
+    /// Checkpoint-restart processing charged on every retry.
+    pub checkpoint_cost: SimDuration,
+}
+
+impl MigrationRetryPolicy {
+    /// Defaults sized against the paper's ~23 s 8 MB migration: 4
+    /// attempts, 2 s → 16 s backoff, 500 ms checkpoint restart.
+    pub fn paper_default() -> Self {
+        MigrationRetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(16),
+            checkpoint_cost: SimDuration::from_millis(500),
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based): `base · 2^retry`,
+    /// capped at [`Self::max_backoff`].
+    pub fn backoff(&self, retry: u32) -> SimDuration {
+        // 2^63 ns already exceeds any simulated horizon; clamp the shift
+        // so the multiplier cannot overflow before the cap applies.
+        let doubled = self.base_backoff.mul_f64((1u64 << retry.min(62)) as f64);
+        if doubled > self.max_backoff {
+            self.max_backoff
+        } else {
+            doubled
+        }
+    }
+
+    /// Total extra delay a failed attempt adds before its re-transfer
+    /// starts: backoff plus the checkpoint-restart processing.
+    pub fn retry_delay(&self, retry: u32) -> SimDuration {
+        self.backoff(retry) + self.checkpoint_cost
+    }
+}
+
+impl Default for MigrationRetryPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +171,23 @@ mod tests {
         let slow = MigrationCostModel { bandwidth_bps: 3.0e6, ..MigrationCostModel::paper_default() };
         let fast = MigrationCostModel { bandwidth_bps: 100.0e6, ..slow };
         assert!(fast.cost(8192) < slow.cost(8192));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let r = MigrationRetryPolicy::paper_default();
+        assert_eq!(r.backoff(0), SimDuration::from_secs(2));
+        assert_eq!(r.backoff(1), SimDuration::from_secs(4));
+        assert_eq!(r.backoff(2), SimDuration::from_secs(8));
+        assert_eq!(r.backoff(3), SimDuration::from_secs(16));
+        assert_eq!(r.backoff(4), SimDuration::from_secs(16), "capped");
+        assert_eq!(r.backoff(200), SimDuration::from_secs(16), "huge retry count capped");
+    }
+
+    #[test]
+    fn retry_delay_adds_checkpoint_cost() {
+        let r = MigrationRetryPolicy::paper_default();
+        assert_eq!(r.retry_delay(0), SimDuration::from_millis(2500));
+        assert_eq!(r.retry_delay(10), r.max_backoff + r.checkpoint_cost);
     }
 }

@@ -1,6 +1,6 @@
 //! Shared scheduling parameters.
 
-use crate::migration::MigrationCostModel;
+use crate::migration::{MigrationCostModel, MigrationRetryPolicy};
 use crate::policy::Policy;
 use linger_sim_core::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -31,6 +31,10 @@ pub struct PolicyParams {
     pub pause_timeout: SimDuration,
     /// Migration cost model.
     pub migration: MigrationCostModel,
+    /// Retry/backoff schedule for migrations that fail in transit.
+    /// Only exercised when fault injection enables migration failures;
+    /// with failures off, no retry is ever taken.
+    pub retry: MigrationRetryPolicy,
 }
 
 impl PolicyParams {
@@ -41,6 +45,7 @@ impl PolicyParams {
             context_switch: DEFAULT_CONTEXT_SWITCH,
             pause_timeout: DEFAULT_PAUSE_TIMEOUT,
             migration: MigrationCostModel::paper_default(),
+            retry: MigrationRetryPolicy::paper_default(),
         }
     }
 }

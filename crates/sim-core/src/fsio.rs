@@ -1,0 +1,107 @@
+//! Crash-safe result persistence.
+//!
+//! Every result file the harness emits (figure JSON, timing ledgers,
+//! trace exports) goes through [`write_atomic`]: the bytes land in a
+//! uniquely named temp file in the destination directory, are flushed to
+//! disk, and the temp file is renamed over the target. A run that is
+//! interrupted or killed mid-write therefore never leaves a truncated or
+//! half-serialized file where a previous good result (or nothing) should
+//! be — the target either still holds its old contents or the complete
+//! new ones.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers within one process (the parallel
+/// runner may persist several artifacts at once).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically (temp file + rename).
+///
+/// The temp file lives in `path`'s directory so the final rename never
+/// crosses a filesystem boundary. On any error the temp file is removed
+/// and the target is left untouched.
+pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let dir: PathBuf = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Make the rename publish complete *contents*, not just a
+        // complete directory entry.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("linger-fsio-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = tmp_dir("clean");
+        let path = dir.join("a.txt");
+        write_atomic(&path, b"x").unwrap();
+        write_atomic(&path, b"y").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.txt".to_string()], "{names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_errors_and_leaves_nothing() {
+        let dir = tmp_dir("missing").join("not-created");
+        assert!(write_atomic(dir.join("f"), b"x").is_err());
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn bare_file_name_writes_into_cwd_rules() {
+        // A path with no parent component must not panic; it resolves
+        // against the current directory.
+        let dir = tmp_dir("cwd");
+        let path = dir.join("bare.bin");
+        write_atomic(&path, &[0u8; 128]).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 128);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fsio;
 mod index;
 mod par;
 mod queue;
@@ -53,8 +54,9 @@ mod rng;
 mod time;
 
 pub use engine::{Context, Engine, RunOutcome, Simulation};
+pub use fsio::write_atomic;
 pub use index::NodeIndex;
-pub use par::{default_jobs, par_map_indexed, set_default_jobs};
+pub use par::{default_jobs, par_map_indexed, set_default_jobs, try_par_map_indexed, CellPanic};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::{domains, replication_seed, RngFactory, SimRng, StreamId};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -12,10 +12,45 @@
 //! default ([`set_default_jobs`]), which the experiment binaries wire
 //! to `--jobs N`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide default worker count; 0 means "auto" (one per core).
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// A panic caught at the boundary of one fan-out unit.
+///
+/// [`try_par_map_indexed`] turns a panicking unit into one of these
+/// instead of poisoning the whole fan-out: the harness can record the
+/// failed cell and keep every other cell's result. The payload is the
+/// panic message when it was a string (the overwhelmingly common case —
+/// `panic!`, `assert!`, `unwrap`), or a placeholder otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// Logical index of the unit that panicked.
+    pub index: usize,
+    /// The panic message, best effort.
+    pub payload: String,
+}
+
+impl std::fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unit {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for CellPanic {}
+
+/// Render a `catch_unwind` payload as a message, best effort.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Set the process-wide default worker count used when
 /// [`par_map_indexed`] is called with `jobs = None`. `0` restores
@@ -53,36 +88,70 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    try_par_map_indexed(n, jobs, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("simulation {p}"),
+        })
+        .collect()
+}
+
+/// Panic-isolating variant of [`par_map_indexed`]: run `f(i)` for every
+/// `i in 0..n`, catching a panicking unit at its cell boundary and
+/// returning `Err(`[`CellPanic`]`)` in that unit's slot while every
+/// other unit's result is kept.
+///
+/// The same determinism contract applies — each slot's value (including
+/// whether it panicked) is a pure function of its index, so the result
+/// vector is identical at any thread count. `f` runs under
+/// [`std::panic::catch_unwind`]; units are independent by contract, so a
+/// panicking unit cannot leave state behind that other units observe
+/// (shared caches consumed through `Arc` snapshots stay consistent —
+/// holders of locks must be poison-tolerant, see `workload::library`).
+pub fn try_par_map_indexed<U, F>(n: usize, jobs: Option<usize>, f: F) -> Vec<Result<U, CellPanic>>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let run_unit = |i: usize| -> Result<U, CellPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| CellPanic {
+            index: i,
+            payload: payload_string(p.as_ref()),
+        })
+    };
+
     let workers = resolve_jobs(jobs).clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run_unit).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    let mut slots: Vec<Option<Result<U, CellPanic>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let next = &next;
-            let f = &f;
+            let run_unit = &run_unit;
             handles.push(scope.spawn(move || {
-                let mut local: Vec<(usize, U)> = Vec::new();
+                let mut local: Vec<(usize, Result<U, CellPanic>)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    local.push((i, run_unit(i)));
                 }
                 local
             }));
         }
         for handle in handles {
-            // A panicking unit propagates here, after the scope has
-            // joined every worker.
-            for (i, value) in handle.join().expect("simulation unit panicked") {
+            // Workers only carry caught results; a join error would mean
+            // a panic escaped `catch_unwind` (abort-on-panic payloads),
+            // which has nothing to recover from.
+            for (i, value) in handle.join().expect("worker died outside a unit") {
                 slots[i] = Some(value);
             }
         }
@@ -134,5 +203,50 @@ mod tests {
         assert_eq!(default_jobs(), 3);
         set_default_jobs(0);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn panicking_unit_is_isolated_to_its_slot() {
+        for jobs in [1usize, 4] {
+            let out = try_par_map_indexed(16, Some(jobs), |i| {
+                assert!(i != 5, "unit 5 exploded");
+                i * 10
+            });
+            assert_eq!(out.len(), 16, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, 5);
+                    assert!(p.payload.contains("unit 5 exploded"), "{}", p.payload);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caught_panics_are_identical_across_thread_counts() {
+        let unit = |i: usize| {
+            if i.is_multiple_of(3) {
+                panic!("cell {i} down");
+            }
+            i
+        };
+        let serial = try_par_map_indexed(12, Some(1), unit);
+        for jobs in [2, 4] {
+            assert_eq!(try_par_map_indexed(12, Some(jobs), unit), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn plain_map_still_propagates_panics() {
+        let _ = par_map_indexed(4, Some(2), |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
     }
 }

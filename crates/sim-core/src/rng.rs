@@ -84,6 +84,10 @@ pub mod domains {
     pub const DISPATCH: u32 = 7;
     /// Memory-demand evolution (per node).
     pub const MEMORY: u32 = 8;
+    /// Per-node crash/reboot schedules (fault injection).
+    pub const NODE_FAULTS: u32 = 9;
+    /// Per-migration in-transit failure draws (fault injection).
+    pub const MIGRATION_FAULTS: u32 = 10;
 }
 
 /// The master seed for replication `r` of an experiment seeded `base`.

@@ -7,16 +7,18 @@
 
 use crate::coarse::CoarseTrace;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::BufReader;
 use std::path::Path;
 
 /// Write a trace library as JSON.
+///
+/// The write is atomic (same-directory temp file renamed over the
+/// target), so an interrupted run never leaves a truncated library
+/// behind.
 pub fn save_traces<P: AsRef<Path>>(path: P, traces: &[CoarseTrace]) -> std::io::Result<()> {
-    let f = File::create(path)?;
-    let mut w = BufWriter::new(f);
-    serde_json::to_writer(&mut w, traces)
+    let json = serde_json::to_string(traces)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    w.flush()
+    linger_sim_core::write_atomic(path.as_ref(), json.as_bytes())
 }
 
 /// Read a trace library back.

@@ -310,6 +310,18 @@ impl TraceLibrary {
         }
     }
 
+    /// Lock the cache state, tolerating poison.
+    ///
+    /// A cell that panics mid-`realize` (the harness isolates such
+    /// panics and keeps running) must not take the shared cache down
+    /// with it: the state is a plain map plus counters, and every
+    /// mutation leaves it consistent, so recovering the guard is safe.
+    fn state(&self) -> std::sync::MutexGuard<'_, LibState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The process-wide shared library.
     ///
     /// The byte budget is `LINGER_TRACE_CACHE_BYTES` (read once, at first
@@ -343,7 +355,7 @@ impl TraceLibrary {
         }
         let key = RealizationKey::new(cfg, seed, nodes);
         let slot = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state();
             st.clock += 1;
             let now = st.clock;
             match st.entries.entry(key) {
@@ -367,7 +379,7 @@ impl TraceLibrary {
         let real = slot
             .get_or_init(|| Arc::new(WorkloadRealization::synthesize(cfg, seed, nodes)))
             .clone();
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         if let Some(e) = st.entries.get_mut(&key) {
             // Record the size once the slot backing this entry is filled
             // (the entry may have been evicted and re-created meanwhile —
@@ -399,7 +411,7 @@ impl TraceLibrary {
 
     /// Current counter snapshot.
     pub fn stats(&self) -> TraceCacheStats {
-        let st = self.state.lock().unwrap();
+        let st = self.state();
         TraceCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -415,7 +427,7 @@ impl TraceLibrary {
     ///
     /// Outstanding `Arc`s stay valid; the next lookup per key is a miss.
     pub fn clear(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         st.entries.clear();
         st.bytes = 0;
     }

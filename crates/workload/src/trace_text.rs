@@ -117,9 +117,10 @@ fn next_field<T: std::str::FromStr>(
     })
 }
 
-/// Write a trace file.
+/// Write a trace file atomically (temp file + rename, like the JSON
+/// result writers) so readers never observe a partial trace.
 pub fn save<P: AsRef<Path>>(path: P, trace: &CoarseTrace) -> std::io::Result<()> {
-    std::fs::write(path, to_text(trace))
+    linger_sim_core::write_atomic(path.as_ref(), to_text(trace).as_bytes())
 }
 
 /// Read a trace file.
