@@ -438,6 +438,65 @@ fn main() {
         ok: f7_hit_rate >= 0.75 || cache_after_f7.bypasses > cache_before_f7.bypasses,
     });
 
+    println!("running telemetry overhead A/B …");
+    match timings.time_caught("telemetry_ab", || {
+        use linger::{JobFamily, Policy};
+        use linger_cluster::{ClusterConfig, ClusterSim};
+        use linger_sim_core::SimDuration;
+        use linger_telemetry::Recorder;
+        let mk = || {
+            let mut cfg = ClusterConfig::paper(
+                Policy::LingerLonger,
+                JobFamily::uniform(32, SimDuration::from_secs(300), 8 * 1024),
+            );
+            cfg.nodes = 16;
+            cfg.seed = args.seed;
+            cfg
+        };
+        let run = |recorder: Recorder| {
+            let t = std::time::Instant::now();
+            let mut sim = ClusterSim::new(mk()).with_recorder(recorder);
+            sim.run();
+            t.elapsed().as_secs_f64()
+        };
+        let disabled_secs = run(Recorder::disabled());
+        let journaling_secs = run(Recorder::with_capacity(linger_telemetry::DEFAULT_CAPACITY));
+        TelemetryOverhead {
+            disabled_secs,
+            journaling_secs,
+            ratio: if disabled_secs > 0.0 { journaling_secs / disabled_secs } else { 0.0 },
+        }
+    }) {
+        None => checks.push(section_panicked("telemetry_ab")),
+        Some(ab) => {
+            // Machine-dependent; the CI gate is the byte-identical figure
+            // diff, this check just surfaces gross regressions.
+            checks.push(Check {
+                name: "Perf: telemetry journaling cost on a fig07-scale cell",
+                paper: "journaling within 2x of the disabled path".into(),
+                measured: format!(
+                    "disabled {:.4}s vs journaling {:.4}s ({:.2}x)",
+                    ab.disabled_secs, ab.journaling_secs, ab.ratio
+                ),
+                ok: ab.journaling_secs <= 2.0 * ab.disabled_secs + 0.01,
+            });
+            timings.telemetry_overhead = Some(ab);
+        }
+    }
+    // fig07 wall-clock against the pre-telemetry reference measurement
+    // (seed 1998, --jobs default, telemetry disabled): the disabled path
+    // must stay within 3% plus a small absolute noise guard. Machine-
+    // dependent — informational, like the baselines above.
+    let fig07_pre_telemetry = if args.fast { 0.0199 } else { 0.0902 };
+    if let Some(f7_secs) = timings.sections.iter().find(|s| s.name == "fig07").map(|s| s.secs) {
+        checks.push(Check {
+            name: "Perf: telemetry disabled-path fig07 wall-clock",
+            paper: "<= pre-telemetry baseline x 1.03 (+50ms noise guard)".into(),
+            measured: format!("{f7_secs:.4}s vs {fig07_pre_telemetry:.4}s reference"),
+            ok: f7_secs <= fig07_pre_telemetry * 1.03 + 0.05,
+        });
+    }
+
     match timings.time_caught("ext_predictor", || {
         linger::predictor::predictor_study(args.seed, if args.fast { 2_000 } else { 30_000 })
     }) {
@@ -487,6 +546,9 @@ fn main() {
         eprintln!("[warn: {} section(s) panicked: {}]", names.len(), names.join(", "));
     }
     timings.trace_cache = Some(TraceLibrary::global().stats());
+    if linger_telemetry::Recorder::from_env().enabled() {
+        timings.telemetry = Some(linger_telemetry::metrics::global().summary());
+    }
     // Pre-cache wall-clock of the sections the realization cache targets,
     // recorded on the reference machine immediately before the change
     // (seed 1998, --jobs default). Machine-dependent — informational.

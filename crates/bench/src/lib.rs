@@ -20,4 +20,5 @@ pub use experiments::*;
 pub use output::{write_json, ArgError, Table};
 pub use runner::{
     CellError, FailedCell, FailedSection, RunTimings, Runner, SectionBaseline, SectionTiming,
+    TelemetryOverhead,
 };

@@ -160,6 +160,13 @@ pub struct RunTimings {
     /// End-of-run snapshot of the shared workload-realization cache
     /// (hits, misses, bytes resident); `None` until recorded.
     pub trace_cache: Option<TraceCacheStats>,
+    /// End-of-run snapshot of the process-wide telemetry registry
+    /// (events, drops, per-policy decision counts); `None` when
+    /// telemetry was disabled for the run.
+    pub telemetry: Option<linger_telemetry::TelemetrySummary>,
+    /// A/B micro-measurement of the telemetry disabled-vs-journaling
+    /// window-loop cost (machine-dependent; informational).
+    pub telemetry_overhead: Option<TelemetryOverhead>,
     /// Recorded before→after wall-clock comparisons for sections whose
     /// speedup a PR claims (machine-dependent; informational).
     pub baselines: Vec<SectionBaseline>,
@@ -193,6 +200,19 @@ pub struct FailedCell {
     pub seed: u64,
     /// Stringified panic payload.
     pub payload: String,
+}
+
+/// Wall-clock of the same cluster cell with telemetry disabled versus
+/// journaling into a ring — the number behind the "compile-time-cheap
+/// when disabled" contract (machine-dependent; informational).
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryOverhead {
+    /// Seconds with a disabled recorder (`Recorder::disabled()`).
+    pub disabled_secs: f64,
+    /// Seconds journaling into a default-capacity ring.
+    pub journaling_secs: f64,
+    /// `journaling_secs / disabled_secs` (1.0 = free).
+    pub ratio: f64,
 }
 
 /// A section's wall-clock against a recorded pre-change baseline.

@@ -251,6 +251,70 @@ mod tests {
     }
 
     #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let b = BreakdownSecs {
+            queued: 1.5,
+            running: 2.25,
+            lingering: 0.75,
+            paused: 4.0,
+            migrating: 0.5,
+        };
+        assert_eq!(b.total(), 1.5 + 2.25 + 0.75 + 4.0 + 0.5);
+        assert_eq!(BreakdownSecs::default().total(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_from_total_divides_each_state_by_job_count() {
+        let total = StateBreakdown {
+            queued: SimDuration::from_secs(40),
+            running: SimDuration::from_secs(100),
+            lingering: SimDuration::from_secs(20),
+            paused: SimDuration::from_secs(8),
+            migrating: SimDuration::from_secs(4),
+        };
+        let b = BreakdownSecs::from_total(&total, 4.0);
+        assert_eq!(b.queued, 10.0);
+        assert_eq!(b.running, 25.0);
+        assert_eq!(b.lingering, 5.0);
+        assert_eq!(b.paused, 2.0);
+        assert_eq!(b.migrating, 1.0);
+        // Per-job mean of the sum equals the sum of per-job means.
+        assert!((b.total() - 172.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_job_breakdown_reconciles_with_completion_time() {
+        // For every completed job the per-state breakdown must account
+        // for the arrival-to-completion interval to within one
+        // scheduling window (state time is charged at 2-second window
+        // boundaries, so the final partial window is not attributed).
+        let mut cfg = ClusterConfig::paper(Policy::LingerLonger, heavy());
+        cfg.nodes = NODES;
+        cfg.seed = SEED;
+        let mut sim = ClusterSim::new(cfg);
+        assert!(sim.run());
+        let mut checked = 0;
+        for j in sim.jobs() {
+            let Some(c) = j.completion_time() else { continue };
+            let b = &j.breakdown;
+            let total = b.queued.as_secs_f64()
+                + b.running.as_secs_f64()
+                + b.lingering.as_secs_f64()
+                + b.paused.as_secs_f64()
+                + b.migrating.as_secs_f64();
+            assert!(
+                (total - c.as_secs_f64()).abs() <= 2.0 + 1e-6,
+                "job {:?}: breakdown {} vs completion {}",
+                j.spec.id,
+                total,
+                c.as_secs_f64()
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "no completed jobs to reconcile");
+    }
+
+    #[test]
     fn breakdown_totals_approximate_completion() {
         for m in policy_comparison(light(), NODES, SEED) {
             let total = m.avg_breakdown.total();

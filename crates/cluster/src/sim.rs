@@ -19,8 +19,9 @@ use linger::cost::should_migrate;
 use linger::{JobId, JobSpec, Policy};
 use linger_node::steal_rate;
 use linger_sim_core::{NodeIndex, SimDuration, SimTime};
+use linger_telemetry::{DecisionAction, Event, EventKind, JournalCounts, Recorder};
 use linger_workload::{
-    CoarseTrace, TraceLibrary, TwoPoolMemory, WindowTable, WorkloadRealization,
+    CoarseTrace, RealizeOrigin, TraceLibrary, TwoPoolMemory, WindowTable, WorkloadRealization,
     SAMPLE_PERIOD_SECS,
 };
 use std::collections::VecDeque;
@@ -28,6 +29,18 @@ use std::sync::Arc;
 
 /// One simulation window (= the coarse-trace sampling period).
 pub const WINDOW: SimDuration = SimDuration::from_secs(SAMPLE_PERIOD_SECS);
+
+/// FNV-1a over the JSON serialization of a config — a stable name for
+/// its telemetry spill file.
+fn config_digest(cfg: &ClusterConfig) -> u64 {
+    let text = serde_json::to_string(cfg).unwrap_or_default();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// The cluster simulation.
 pub struct ClusterSim {
@@ -84,6 +97,14 @@ pub struct ClusterSim {
     fault_cursor: usize,
     /// Fault counters accumulated over the run.
     fault_stats: FaultStats,
+    /// Event recorder — disabled by default (one `Option` branch per
+    /// emission site; the event closures never run). Telemetry only
+    /// *reads* simulation state and simulated time, never RNG streams,
+    /// so attaching a recorder cannot change any result.
+    telemetry: Recorder,
+    /// Counters already flushed to the global registry (watermark, so
+    /// repeated `run()` calls never double-count).
+    telemetry_absorbed: JournalCounts,
 }
 
 impl ClusterSim {
@@ -95,8 +116,17 @@ impl ClusterSim {
     /// and cost parameters, so repeated constructions across a sweep
     /// reuse one synthesis; results are identical either way.
     pub fn new(cfg: ClusterConfig) -> Self {
-        let real = TraceLibrary::global().realize(&cfg.trace, cfg.seed, cfg.nodes);
-        Self::with_realization(cfg, &real)
+        let (real, origin) =
+            TraceLibrary::global().realize_with_origin(&cfg.trace, cfg.seed, cfg.nodes);
+        let sim = Self::with_realization(cfg, &real);
+        sim.telemetry.record(|| {
+            Event::new(0, 0, match origin {
+                RealizeOrigin::Hit => EventKind::TraceCacheHit,
+                RealizeOrigin::Miss => EventKind::TraceCacheMiss,
+                RealizeOrigin::Bypass => EventKind::TraceCacheBypass,
+            })
+        });
+        sim
     }
 
     /// Build the simulation over a shared workload realization (cached or
@@ -187,7 +217,32 @@ impl ClusterSim {
             crashed: NodeIndex::new(n),
             fault_cursor: 0,
             fault_stats: FaultStats::default(),
+            telemetry: Recorder::from_env(),
+            telemetry_absorbed: JournalCounts::default(),
         }
+    }
+
+    /// Attach (or detach) an event recorder, replacing the one built
+    /// from `LINGER_TELEMETRY` at construction.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.telemetry = recorder;
+    }
+
+    /// Builder-style [`Self::set_recorder`].
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// The attached recorder (disabled unless enabled by environment or
+    /// [`Self::set_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// An event stamped with the current window and `t`.
+    fn event_at(&self, t: SimTime, kind: EventKind) -> Event {
+        Event::new(self.window as u32, t.as_nanos(), kind)
     }
 
     /// Current simulated time (start of the current window).
@@ -229,23 +284,53 @@ impl ClusterSim {
     /// Run to the configured termination condition. Returns `true` on
     /// normal completion, `false` if the family-mode safety horizon hit.
     pub fn run(&mut self) -> bool {
-        loop {
+        let done = loop {
             match self.cfg.mode {
                 RunMode::Family => {
                     if self.completed == self.jobs.len() {
-                        return true;
+                        break true;
                     }
                     if self.now() >= self.cfg.max_time {
-                        return false;
+                        break false;
                     }
                 }
                 RunMode::Throughput { horizon } => {
                     if self.now() >= horizon {
-                        return true;
+                        break true;
                     }
                 }
             }
             self.step();
+        };
+        self.flush_telemetry();
+        done
+    }
+
+    /// Merge this run's counters into the process-wide registry (once —
+    /// a watermark guards repeated calls) and spill the journal as JSON
+    /// lines when `LINGER_TELEMETRY_DIR` is set. The spill file name is
+    /// a digest of the serialized configuration, so identical configs
+    /// overwrite each other with identical bytes and a sweep stays
+    /// race-free at any `--jobs`.
+    fn flush_telemetry(&mut self) {
+        let Some(journal) = self.telemetry.journal() else { return };
+        let counts = journal.counts();
+        let delta = counts.since(&self.telemetry_absorbed);
+        if delta.events > 0 {
+            linger_telemetry::metrics::global()
+                .absorb_counts(self.cfg.params.policy.abbrev(), delta);
+        }
+        self.telemetry_absorbed = counts;
+        if let Some(dir) = std::env::var_os("LINGER_TELEMETRY_DIR") {
+            let name = format!(
+                "journal-{}-{:016x}.jsonl",
+                self.cfg.params.policy.abbrev(),
+                config_digest(&self.cfg)
+            );
+            let path = std::path::Path::new(&dir).join(name);
+            if let Err(e) = journal.write_jsonl(&path) {
+                eprintln!("telemetry: could not write {}: {e}", path.display());
+            }
         }
     }
 
@@ -253,6 +338,9 @@ impl ClusterSim {
     pub fn step(&mut self) {
         let t = self.now();
         let w = self.window;
+        self.telemetry.record(|| {
+            self.event_at(t, EventKind::WindowStart { queue_depth: self.queue.len() as u32 })
+        });
 
         // 0. Per-window node state: one trace lookup per node, reused by
         //    every policy/placement query below instead of re-deriving
@@ -344,6 +432,12 @@ impl ClusterSim {
                     // destination and retry with backoff (or abandon).
                     self.fault_stats.migration_failures += 1;
                     let dest = j.node.expect("migration has a destination");
+                    let job = j.spec.id.0;
+                    self.telemetry.record(|| {
+                        self.event_at(t, EventKind::MigrationFail { dest: dest.0 as u32 })
+                            .on_node(dest.0 as u32)
+                            .for_job(job)
+                    });
                     self.release_node(dest);
                     self.retry_migration(ji, t);
                 } else {
@@ -376,6 +470,7 @@ impl ClusterSim {
                         // Episode over; back to plain running.
                         self.jobs[ji].state = JobState::Running;
                         self.jobs[ji].episode_start = None;
+                        self.record_decision(ji, NodeId(ni), t, DecisionAction::Resume, None);
                     } else if self.cfg.params.policy == Policy::LingerLonger {
                         self.maybe_migrate_lingering(ji, NodeId(ni), t);
                     }
@@ -385,6 +480,7 @@ impl ClusterSim {
                         self.jobs[ji].state = JobState::Running;
                         self.jobs[ji].episode_start = None;
                         self.jobs[ji].pause_deadline = None;
+                        self.record_decision(ji, NodeId(ni), t, DecisionAction::Resume, None);
                     } else if self.jobs[ji].pause_deadline.is_some_and(|d| t >= d) {
                         self.evict(ji, NodeId(ni), t);
                     }
@@ -465,6 +561,30 @@ impl ClusterSim {
         self.window += 1;
     }
 
+    /// Record a policy decision about `ji` on `node` (telemetry only —
+    /// reads window utilization, mutates nothing).
+    fn record_decision(
+        &self,
+        ji: usize,
+        node: NodeId,
+        t: SimTime,
+        action: DecisionAction,
+        dest: Option<NodeId>,
+    ) {
+        self.telemetry.record(|| {
+            self.event_at(t, EventKind::Decision {
+                action,
+                host_cpu: Some(self.cpu_w[node.0]),
+                dest_cpu: dest.map(|d| self.cpu_w[d.0]),
+                age_secs: None,
+                migration_secs: None,
+                dest: dest.map(|d| d.0 as u32),
+            })
+            .on_node(node.0 as u32)
+            .for_job(self.jobs[ji].spec.id.0)
+        });
+    }
+
     /// A running job's node turned non-idle: apply the policy.
     fn on_non_idle(&mut self, ji: usize, node: NodeId, t: SimTime) {
         match self.cfg.params.policy {
@@ -473,10 +593,12 @@ impl ClusterSim {
                 self.jobs[ji].state = JobState::Paused;
                 self.jobs[ji].episode_start = Some(t);
                 self.jobs[ji].pause_deadline = Some(t + self.cfg.params.pause_timeout);
+                self.record_decision(ji, node, t, DecisionAction::Pause, None);
             }
             Policy::LingerLonger | Policy::LingerForever => {
                 self.jobs[ji].state = JobState::Lingering;
                 self.jobs[ji].episode_start = Some(t);
+                self.record_decision(ji, node, t, DecisionAction::Linger, None);
             }
         }
     }
@@ -494,6 +616,18 @@ impl ClusterSim {
         let t_migr = self.cfg.params.migration.cost(self.jobs[ji].spec.mem_kb);
         let age = t.saturating_since(start);
         if should_migrate(age, h, l, t_migr) {
+            self.telemetry.record(|| {
+                self.event_at(t, EventKind::Decision {
+                    action: DecisionAction::Migrate,
+                    host_cpu: Some(h),
+                    dest_cpu: Some(l),
+                    age_secs: Some(age.as_secs_f64()),
+                    migration_secs: Some(t_migr.as_secs_f64()),
+                    dest: Some(dest.0 as u32),
+                })
+                .on_node(node.0 as u32)
+                .for_job(self.jobs[ji].spec.id.0)
+            });
             self.migrate(ji, node, dest, t);
         }
     }
@@ -503,17 +637,21 @@ impl ClusterSim {
     /// is re-placed).
     fn evict(&mut self, ji: usize, node: NodeId, t: SimTime) {
         match self.best_destination(self.jobs[ji].spec, Some(node)) {
-            Some(dest) => self.migrate(ji, node, dest, t),
+            Some(dest) => {
+                self.record_decision(ji, node, t, DecisionAction::Evict, Some(dest));
+                self.migrate(ji, node, dest, t);
+            }
             None => {
+                self.record_decision(ji, node, t, DecisionAction::Requeue, None);
                 self.release_node(node);
-                self.requeue(ji);
+                self.requeue(ji, t);
             }
         }
     }
 
     /// Return a job to the central queue with no node and no in-flight
     /// migration state.
-    fn requeue(&mut self, ji: usize) {
+    fn requeue(&mut self, ji: usize, t: SimTime) {
         let j = &mut self.jobs[ji];
         j.state = JobState::Queued;
         j.node = None;
@@ -523,6 +661,9 @@ impl ClusterSim {
         j.migration_bits_left = None;
         j.migration_attempts = 0;
         self.queue.push_back(ji);
+        self.telemetry.record(|| {
+            self.event_at(t, EventKind::QueueEnter).for_job(self.jobs[ji].spec.id.0)
+        });
     }
 
     /// A node crashes: it leaves every scheduling set, and the job it
@@ -537,7 +678,14 @@ impl ClusterSim {
         self.fault_stats.crashes += 1;
         self.free.remove(ni);
         self.free_idle.remove(ni);
-        if let Some(ji) = self.nodes[ni].hosted {
+        let hosted = self.nodes[ni].hosted;
+        self.telemetry.record(|| {
+            self.event_at(t, EventKind::NodeCrash {
+                evicted: hosted.map(|ji| self.jobs[ji].spec.id.0),
+            })
+            .on_node(ni as u32)
+        });
+        if let Some(ji) = hosted {
             self.nodes[ni].memory.detach_foreign();
             self.nodes[ni].hosted = None;
             self.busy.remove(ni);
@@ -548,7 +696,7 @@ impl ClusterSim {
                 // toward a fresh one under the same backoff budget.
                 self.retry_migration(ji, t);
             } else {
-                self.requeue(ji);
+                self.requeue(ji, t);
             }
         }
     }
@@ -564,6 +712,8 @@ impl ClusterSim {
         if self.idle_w[ni] {
             self.free_idle.insert(ni);
         }
+        self.telemetry
+            .record(|| self.event_at(self.now(), EventKind::NodeReboot).on_node(ni as u32));
     }
 
     /// A transfer attempt failed (in transit or by destination crash):
@@ -576,17 +726,25 @@ impl ClusterSim {
         let retry = self.cfg.params.retry;
         if attempt >= retry.max_attempts {
             self.fault_stats.migrations_abandoned += 1;
-            self.requeue(ji);
+            self.telemetry.record(|| {
+                self.event_at(t, EventKind::MigrationAbandon).for_job(self.jobs[ji].spec.id.0)
+            });
+            self.requeue(ji, t);
             return;
         }
         let spec = self.jobs[ji].spec;
         let Some(dest) = self.best_destination(spec, None) else {
             // Nowhere to retry toward; fall back to the queue instead of
             // burning attempts against a saturated cluster.
-            self.requeue(ji);
+            self.requeue(ji, t);
             return;
         };
         self.fault_stats.migration_retries += 1;
+        self.telemetry.record(|| {
+            self.event_at(t, EventKind::MigrationRetry { dest: dest.0 as u32, attempt })
+                .on_node(dest.0 as u32)
+                .for_job(spec.id.0)
+        });
         let start = t + retry.retry_delay(attempt - 1);
         let (until, bits) = self.migration_terms(spec.mem_kb, start);
         let j = &mut self.jobs[ji];
@@ -602,6 +760,11 @@ impl ClusterSim {
 
     /// Begin a migration from `from` to the reserved `dest`.
     fn migrate(&mut self, ji: usize, from: NodeId, dest: NodeId, t: SimTime) {
+        self.telemetry.record(|| {
+            self.event_at(t, EventKind::MigrationStart { dest: dest.0 as u32, attempt: 1 })
+                .on_node(from.0 as u32)
+                .for_job(self.jobs[ji].spec.id.0)
+        });
         self.release_node(from);
         let (until, bits) = self.migration_terms(self.jobs[ji].spec.mem_kb, t);
         let j = &mut self.jobs[ji];
@@ -638,6 +801,11 @@ impl ClusterSim {
     /// A migrating job materializes on its reserved destination.
     fn arrive(&mut self, ji: usize, t: SimTime) {
         let node = self.jobs[ji].node.expect("migration has a destination");
+        self.telemetry.record(|| {
+            self.event_at(t, EventKind::MigrationArrive { dest: node.0 as u32 })
+                .on_node(node.0 as u32)
+                .for_job(self.jobs[ji].spec.id.0)
+        });
         self.nodes[node.0].memory.attach_foreign(self.jobs[ji].spec.mem_kb);
         let idle = self.idle_w[node.0];
         let j = &mut self.jobs[ji];
@@ -667,6 +835,24 @@ impl ClusterSim {
         j.node = None;
         j.completed_at = Some(at);
         self.completed += 1;
+        let j = &self.jobs[ji];
+        self.telemetry.record(|| {
+            self.event_at(at, EventKind::Complete {
+                queued_secs: j.breakdown.queued.as_secs_f64(),
+                running_secs: j.breakdown.running.as_secs_f64(),
+                lingering_secs: j.breakdown.lingering.as_secs_f64(),
+                paused_secs: j.breakdown.paused.as_secs_f64(),
+                migrating_secs: j.breakdown.migrating.as_secs_f64(),
+                completion_secs: j
+                    .completion_time()
+                    .map(|d| d.as_secs_f64())
+                    .unwrap_or(0.0),
+                migrations: j.migrations,
+            })
+            .on_node(node.0 as u32)
+            .for_job(j.spec.id.0)
+        });
+        let j = &mut self.jobs[ji];
         if let RunMode::Throughput { .. } = self.cfg.mode {
             // Hold the number of jobs in the system constant.
             let spec = JobSpec {
@@ -775,6 +961,17 @@ impl ClusterSim {
                 None => unplaced.push_back(ji),
                 Some(dest) => {
                     self.claim_node(dest, ji);
+                    self.telemetry.record(|| {
+                        self.event_at(t, EventKind::Decision {
+                            action: DecisionAction::Place,
+                            host_cpu: Some(self.cpu_w[dest.0]),
+                            dest_cpu: None,
+                            age_secs: None,
+                            migration_secs: None,
+                            dest: Some(dest.0 as u32),
+                        })
+                        .for_job(spec.id.0)
+                    });
                     if self.jobs[ji].has_run {
                         // Re-materializing an evicted job costs a
                         // migration.
@@ -788,6 +985,13 @@ impl ClusterSim {
                         j.migration_attempts = 1;
                         j.transfer_seq += 1;
                         self.migrating.push(ji);
+                        self.telemetry.record(|| {
+                            self.event_at(t, EventKind::MigrationStart {
+                                dest: dest.0 as u32,
+                                attempt: 1,
+                            })
+                            .for_job(spec.id.0)
+                        });
                     } else {
                         self.nodes[dest.0].memory.attach_foreign(spec.mem_kb);
                         let idle = self.idle_w[dest.0];
@@ -800,6 +1004,7 @@ impl ClusterSim {
                         } else {
                             j.state = JobState::Lingering;
                             j.episode_start = Some(t);
+                            self.record_decision(ji, dest, t, DecisionAction::Linger, None);
                         }
                     }
                 }

@@ -39,5 +39,8 @@ pub mod source;
 
 pub use executor::{steal_rate, FineGrainCpu};
 pub use kernel::{simulate_kernel, KernelConfig, KernelReport, LocalProcessSpec};
-pub use single::{fig5_paper_grid, fig5_sweep, simulate_single_node, SingleNodeConfig, SingleNodeReport};
+pub use single::{
+    fig5_paper_grid, fig5_sweep, simulate_single_node, simulate_single_node_with_recorder,
+    SingleNodeConfig, SingleNodeReport,
+};
 pub use source::{BurstSource, FixedUtilization};

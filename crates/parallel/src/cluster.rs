@@ -24,6 +24,7 @@
 
 use linger_node::steal_rate;
 use linger_sim_core::{NodeIndex, RngFactory, SimDuration, SimTime};
+use linger_telemetry::{DecisionAction, Event, EventKind, Recorder};
 use linger_workload::{BurstParamTable, CoarseTraceConfig, TraceLibrary, SAMPLE_PERIOD_SECS};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -97,17 +98,38 @@ pub struct ParallelClusterReport {
 }
 
 struct RunningJob {
+    id: u32,
     arrived: SimTime,
+    placed: SimTime,
     members: Vec<usize>,
     phases_left: f64,
     stalled_windows: u64,
     total_windows: u64,
+    migrations: u32,
 }
 
 /// Run the experiment for one policy.
+///
+/// Telemetry is controlled by `LINGER_TELEMETRY` (see
+/// [`Recorder::from_env`]); use [`simulate_parallel_cluster_with_recorder`]
+/// to pass an explicit recorder instead.
 pub fn simulate_parallel_cluster(
     cfg: &ParallelClusterConfig,
     policy: ParallelPolicy,
+) -> ParallelClusterReport {
+    simulate_parallel_cluster_with_recorder(cfg, policy, &Recorder::from_env())
+}
+
+/// [`simulate_parallel_cluster`] with an explicit telemetry [`Recorder`].
+///
+/// Records queue entries, placements, RigidIdle stalls, member
+/// migrations, and completions. The recorder draws no random numbers and
+/// reads no simulation state after the fact, so the report is identical
+/// with telemetry on or off.
+pub fn simulate_parallel_cluster_with_recorder(
+    cfg: &ParallelClusterConfig,
+    policy: ParallelPolicy,
+    recorder: &Recorder,
 ) -> ParallelClusterReport {
     let factory = RngFactory::new(cfg.seed);
     let table = BurstParamTable::paper_calibrated();
@@ -139,7 +161,8 @@ pub fn simulate_parallel_cluster(
     let dedicated_phase = cfg.grain + cfg.comm;
     let dedicated_secs = dedicated_phase.as_secs_f64() * cfg.phases as f64;
 
-    let mut queue: VecDeque<SimTime> = VecDeque::new();
+    let mut queue: VecDeque<(u32, SimTime)> = VecDeque::new();
+    let mut next_job_id = 0u32;
     let mut next_arrival = 0usize;
     let mut running: Vec<RunningJob> = Vec::new();
     // Unclaimed nodes and this window's idle set, as incremental indices:
@@ -162,7 +185,12 @@ pub fn simulate_parallel_cluster(
         let now = SimTime::ZERO + window.mul_f64(w as f64);
         // Admit arrivals.
         while next_arrival < arrivals.len() && arrivals[next_arrival] <= now {
-            queue.push_back(arrivals[next_arrival]);
+            let id = next_job_id;
+            next_job_id += 1;
+            queue.push_back((id, arrivals[next_arrival]));
+            recorder.record(|| {
+                Event::new(w as u32, now.as_nanos(), EventKind::QueueEnter).for_job(id)
+            });
             next_arrival += 1;
         }
 
@@ -186,7 +214,7 @@ pub fn simulate_parallel_cluster(
         }
 
         // Placement.
-        while let Some(&arrived) = queue.front() {
+        while let Some(&(id, arrived)) = queue.front() {
             members_scratch.clear();
             let placeable = match policy {
                 ParallelPolicy::RigidIdle => {
@@ -216,12 +244,32 @@ pub fn simulate_parallel_cluster(
             for &m in &members {
                 free.remove(m);
             }
+            recorder.record(|| {
+                let lead = members[0];
+                Event::new(
+                    w as u32,
+                    now.as_nanos(),
+                    EventKind::Decision {
+                        action: DecisionAction::Place,
+                        host_cpu: Some(cpu_w[lead]),
+                        dest_cpu: None,
+                        age_secs: None,
+                        migration_secs: None,
+                        dest: Some(lead as u32),
+                    },
+                )
+                .on_node(lead as u32)
+                .for_job(id)
+            });
             running.push(RunningJob {
+                id,
                 arrived,
+                placed: now,
                 members,
                 phases_left: cfg.phases as f64,
                 stalled_windows: 0,
                 total_windows: 0,
+                migrations: 0,
             });
         }
 
@@ -244,14 +292,40 @@ pub fn simulate_parallel_cluster(
                         free.insert(b);
                         free.remove(spare);
                         job.members[slot] = spare;
+                        job.migrations += 1;
+                        recorder.record(|| {
+                            Event::new(
+                                w as u32,
+                                now.as_nanos(),
+                                EventKind::MigrationStart { dest: spare as u32, attempt: 1 },
+                            )
+                            .on_node(b as u32)
+                            .for_job(job.id)
+                        });
                     } else {
                         break;
                     }
                 }
-                if job.members.iter().any(|&m| !idle.contains(m)) {
+                if let Some(&busy) = job.members.iter().find(|&&m| !idle.contains(m)) {
                     // Still holding a non-idle node with no spare: stall.
                     job.stalled_windows += 1;
                     stalled_windows += 1;
+                    recorder.record(|| {
+                        Event::new(
+                            w as u32,
+                            now.as_nanos(),
+                            EventKind::Decision {
+                                action: DecisionAction::Stall,
+                                host_cpu: Some(cpu_w[busy]),
+                                dest_cpu: None,
+                                age_secs: None,
+                                migration_secs: None,
+                                dest: None,
+                            },
+                        )
+                        .on_node(busy as u32)
+                        .for_job(job.id)
+                    });
                     continue;
                 }
             }
@@ -299,6 +373,24 @@ pub fn simulate_parallel_cluster(
             response_sum += response;
             let exec_secs = job.total_windows as f64 * window.as_secs_f64();
             slowdown_sum += exec_secs / dedicated_secs;
+            recorder.record(|| {
+                let stalled = job.stalled_windows as f64 * window.as_secs_f64();
+                Event::new(
+                    w as u32,
+                    (now + window).as_nanos(),
+                    EventKind::Complete {
+                        queued_secs: job.placed.saturating_since(job.arrived).as_secs_f64(),
+                        running_secs: exec_secs - stalled,
+                        lingering_secs: 0.0,
+                        paused_secs: stalled,
+                        migrating_secs: 0.0,
+                        completion_secs: response,
+                        migrations: job.migrations,
+                    },
+                )
+                .on_node(job.members[0] as u32)
+                .for_job(job.id)
+            });
         }
     }
 

@@ -1,0 +1,349 @@
+//! Metrics: a process-wide registry the harness embeds in
+//! `BENCH_runall.json`, and an offline aggregator that turns one
+//! journal into counters, gauges, and fixed-bucket histograms.
+//!
+//! The global registry is fed by whole-journal `absorb` calls (one
+//! mutex acquisition per finished simulation, never per event), keyed
+//! by a caller-supplied label — the policy abbreviation for cluster
+//! runs. Sums of counters are commutative, so the summary is identical
+//! at any `--jobs` even though absorption order is not.
+
+use crate::event::{DecisionAction, Event, EventKind};
+use crate::journal::{Journal, JournalCounts, ACTION_SLOTS, KIND_NAMES, KIND_SLOTS};
+use linger_stats::Histogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Aggregated counters for one label (policy) in the global registry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PolicyCounts {
+    /// Events recorded under this label.
+    pub events: u64,
+    /// Events dropped to ring-capacity bounds.
+    pub dropped: u64,
+    /// Decision totals by action name.
+    pub decisions: BTreeMap<String, u64>,
+}
+
+/// Snapshot of the process-wide registry, embedded in
+/// `BENCH_runall.json` when telemetry is on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Total events recorded across every absorbed journal.
+    pub events: u64,
+    /// Events dropped to ring-capacity bounds.
+    pub dropped: u64,
+    /// Journals absorbed.
+    pub journals: u64,
+    /// Event totals by kind name.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Per-label (policy) counters.
+    pub policies: BTreeMap<String, PolicyCounts>,
+}
+
+#[derive(Default)]
+struct RegistryState {
+    journals: u64,
+    by_kind: [u64; KIND_SLOTS],
+    dropped: u64,
+    events: u64,
+    policies: BTreeMap<String, ([u64; ACTION_SLOTS], u64, u64)>,
+}
+
+/// The process-wide telemetry registry.
+pub struct GlobalRegistry {
+    state: Mutex<RegistryState>,
+}
+
+impl GlobalRegistry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Merge one finished journal's exact counters under `label`.
+    pub fn absorb(&self, label: &str, journal: &Journal) {
+        self.absorb_counts(label, journal.counts());
+    }
+
+    /// Merge pre-extracted counters under `label`.
+    pub fn absorb_counts(&self, label: &str, c: JournalCounts) {
+        let mut st = self.lock();
+        st.journals += 1;
+        st.events += c.events;
+        st.dropped += c.dropped;
+        for (slot, n) in c.by_kind.iter().enumerate() {
+            st.by_kind[slot] += n;
+        }
+        let entry = st.policies.entry(label.to_string()).or_default();
+        for (slot, n) in c.decisions.iter().enumerate() {
+            entry.0[slot] += n;
+        }
+        entry.1 += c.events;
+        entry.2 += c.dropped;
+    }
+
+    /// Current totals.
+    pub fn summary(&self) -> TelemetrySummary {
+        let st = self.lock();
+        let mut by_kind = BTreeMap::new();
+        for (slot, n) in st.by_kind.iter().enumerate() {
+            if *n > 0 {
+                by_kind.insert(KIND_NAMES[slot].to_string(), *n);
+            }
+        }
+        let mut policies = BTreeMap::new();
+        for (label, (acts, events, dropped)) in &st.policies {
+            let mut decisions = BTreeMap::new();
+            for a in DecisionAction::ALL {
+                let n = acts[a as usize];
+                if n > 0 {
+                    decisions.insert(a.name().to_string(), n);
+                }
+            }
+            policies.insert(
+                label.clone(),
+                PolicyCounts { events: *events, dropped: *dropped, decisions },
+            );
+        }
+        TelemetrySummary {
+            events: st.events,
+            dropped: st.dropped,
+            journals: st.journals,
+            by_kind,
+            policies,
+        }
+    }
+
+    /// Drop everything (tests and repeated harness phases).
+    pub fn reset(&self) {
+        *self.lock() = RegistryState::default();
+    }
+}
+
+/// The shared registry instance.
+pub fn global() -> &'static GlobalRegistry {
+    static GLOBAL: OnceLock<GlobalRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(|| GlobalRegistry { state: Mutex::new(RegistryState::default()) })
+}
+
+/// A last/max gauge over a per-window series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Gauge {
+    /// Most recent observation.
+    pub last: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub samples: u64,
+}
+
+impl Gauge {
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.last = v;
+        if self.samples == 0 || v > self.max {
+            self.max = v;
+        }
+        self.samples += 1;
+    }
+}
+
+/// Offline aggregation of one journal: counters per kind and per node,
+/// per-window activity, queue-depth gauge, and fixed-bucket histograms
+/// of the quantities that drive the figures.
+pub struct MetricsRegistry {
+    /// Event totals by kind name (resident events only).
+    pub counters: BTreeMap<String, u64>,
+    /// Decision totals by action name.
+    pub decisions: BTreeMap<String, u64>,
+    /// Events per node id.
+    pub per_node: BTreeMap<u32, u64>,
+    /// Number of `WindowStart` events seen.
+    pub windows: u64,
+    /// Highest window index observed.
+    pub max_window: u32,
+    /// Queue depth at each window boundary.
+    pub queue_depth: Gauge,
+    /// Linger-episode age (seconds) at each migrate decision.
+    pub linger_age: Histogram,
+    /// Host utilization read by each decision.
+    pub decision_host_cpu: Histogram,
+    /// Job completion times (seconds) from `Complete` events.
+    pub completion_secs: Histogram,
+    /// Events per window (activity histogram).
+    pub events_per_window: Histogram,
+    /// Sums of the per-state breakdown over completed jobs, seconds:
+    /// `[queued, running, lingering, paused, migrating]`.
+    pub breakdown_totals: [f64; 5],
+    /// Completed jobs observed.
+    pub completions: u64,
+    /// Total migrations reported by completed jobs.
+    pub migrations: u64,
+}
+
+impl MetricsRegistry {
+    /// Aggregate a (snapshot of a) journal.
+    pub fn from_events(events: &[Event]) -> MetricsRegistry {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut decisions: BTreeMap<String, u64> = BTreeMap::new();
+        let mut per_node: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut per_window: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut windows = 0u64;
+        let mut max_window = 0u32;
+        let mut queue_depth = Gauge::default();
+        let mut linger_age = Histogram::new(0.0, 120.0, 60);
+        let mut decision_host_cpu = Histogram::new(0.0, 1.0, 20);
+        let mut completion_secs = Histogram::new(0.0, 7200.0, 72);
+        let mut breakdown_totals = [0.0f64; 5];
+        let mut completions = 0u64;
+        let mut migrations = 0u64;
+        for ev in events {
+            *counters.entry(ev.kind.name().to_string()).or_default() += 1;
+            if let Some(n) = ev.node {
+                *per_node.entry(n).or_default() += 1;
+            }
+            *per_window.entry(ev.window).or_default() += 1;
+            max_window = max_window.max(ev.window);
+            match &ev.kind {
+                EventKind::WindowStart { queue_depth: d } => {
+                    windows += 1;
+                    queue_depth.observe(*d as f64);
+                }
+                EventKind::Decision { action, host_cpu, age_secs, .. } => {
+                    *decisions.entry(action.name().to_string()).or_default() += 1;
+                    if let Some(h) = host_cpu {
+                        decision_host_cpu.add(*h);
+                    }
+                    if *action == DecisionAction::Migrate {
+                        if let Some(age) = age_secs {
+                            linger_age.add(*age);
+                        }
+                    }
+                }
+                EventKind::Complete {
+                    queued_secs,
+                    running_secs,
+                    lingering_secs,
+                    paused_secs,
+                    migrating_secs,
+                    completion_secs: total,
+                    migrations: m,
+                } => {
+                    completions += 1;
+                    migrations += *m as u64;
+                    completion_secs.add(*total);
+                    breakdown_totals[0] += *queued_secs;
+                    breakdown_totals[1] += *running_secs;
+                    breakdown_totals[2] += *lingering_secs;
+                    breakdown_totals[3] += *paused_secs;
+                    breakdown_totals[4] += *migrating_secs;
+                }
+                _ => {}
+            }
+        }
+        let mut events_per_window = Histogram::new(0.0, 64.0, 32);
+        for n in per_window.values() {
+            events_per_window.add(*n as f64);
+        }
+        MetricsRegistry {
+            counters,
+            decisions,
+            per_node,
+            windows,
+            max_window,
+            queue_depth,
+            linger_age,
+            decision_host_cpu,
+            completion_secs,
+            events_per_window,
+            breakdown_totals,
+            completions,
+            migrations,
+        }
+    }
+
+    /// Mean completion time over observed `Complete` events.
+    pub fn avg_completion_secs(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            // Histogram bins quantize; use the exact breakdown sums.
+            let total: f64 = self.breakdown_totals.iter().sum();
+            total / self.completions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn decision(action: DecisionAction, h: f64, age: Option<f64>) -> Event {
+        Event::new(0, 0, EventKind::Decision {
+            action,
+            host_cpu: Some(h),
+            dest_cpu: None,
+            age_secs: age,
+            migration_secs: None,
+            dest: None,
+        })
+    }
+
+    #[test]
+    fn registry_counts_decisions_and_windows() {
+        let events = vec![
+            Event::new(0, 0, EventKind::WindowStart { queue_depth: 2 }),
+            decision(DecisionAction::Linger, 0.4, None).on_node(1).for_job(0),
+            decision(DecisionAction::Migrate, 0.8, Some(6.0)).on_node(1).for_job(0),
+            Event::new(1, 2_000_000_000, EventKind::WindowStart { queue_depth: 5 }),
+            Event::new(1, 2_000_000_000, EventKind::Complete {
+                queued_secs: 2.0,
+                running_secs: 10.0,
+                lingering_secs: 4.0,
+                paused_secs: 0.0,
+                migrating_secs: 1.0,
+                completion_secs: 17.0,
+                migrations: 1,
+            })
+            .for_job(0),
+        ];
+        let m = MetricsRegistry::from_events(&events);
+        assert_eq!(m.windows, 2);
+        assert_eq!(m.decisions["linger"], 1);
+        assert_eq!(m.decisions["migrate"], 1);
+        assert_eq!(m.queue_depth.max, 5.0);
+        assert_eq!(m.queue_depth.last, 5.0);
+        assert_eq!(m.completions, 1);
+        assert_eq!(m.migrations, 1);
+        assert!((m.avg_completion_secs() - 17.0).abs() < 1e-9);
+        assert_eq!(m.linger_age.total(), 1);
+        assert_eq!(m.per_node[&1], 2);
+    }
+
+    #[test]
+    fn global_registry_merges_labels_commutatively() {
+        let reg = GlobalRegistry { state: Mutex::new(RegistryState::default()) };
+        let j = Journal::with_capacity(8);
+        j.push(decision(DecisionAction::Evict, 0.9, None));
+        j.push(decision(DecisionAction::Evict, 0.9, None));
+        let k = Journal::with_capacity(8);
+        k.push(decision(DecisionAction::Linger, 0.2, None));
+        reg.absorb("IE", &j);
+        reg.absorb("LL", &k);
+        let forward = reg.summary();
+        reg.reset();
+        reg.absorb("LL", &k);
+        reg.absorb("IE", &j);
+        let backward = reg.summary();
+        assert_eq!(forward.events, 3);
+        assert_eq!(forward.policies["IE"].decisions["evict"], 2);
+        assert_eq!(forward.policies["LL"].decisions["linger"], 1);
+        // Order of absorption must not matter.
+        assert_eq!(
+            serde_json::to_string(&forward).unwrap(),
+            serde_json::to_string(&backward).unwrap()
+        );
+    }
+}

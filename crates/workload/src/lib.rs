@@ -72,7 +72,9 @@ pub use coarse::{
 pub use dispatch::DispatchTrace;
 pub use fit_table::{BurstFitTable, FitPair};
 pub use generator::LocalWorkload;
-pub use library::{TraceCacheStats, TraceLibrary, WindowCell, WindowTable, WorkloadRealization};
+pub use library::{
+    RealizeOrigin, TraceCacheStats, TraceLibrary, WindowCell, WindowTable, WorkloadRealization,
+};
 pub use memory::{TwoPoolMemory, PAGE_KB};
 pub use paging::{Owner, PagingConfig, PagingSim, PagingStats};
 pub use params::{BucketParams, BurstParamTable, NUM_BUCKETS, WINDOW_SECS};

@@ -225,6 +225,17 @@ struct LibState {
     max_bytes: usize,
 }
 
+/// How a [`TraceLibrary::realize_with_origin`] lookup was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealizeOrigin {
+    /// Served from an existing cache entry.
+    Hit,
+    /// Synthesized afresh and cached.
+    Miss,
+    /// Synthesized afresh, cache disabled (`LINGER_NO_TRACE_CACHE=1`).
+    Bypass,
+}
+
 /// Counter snapshot of a [`TraceLibrary`], serialized into
 /// `BENCH_runall.json`.
 #[derive(Debug, Clone, Serialize)]
@@ -349,12 +360,26 @@ impl TraceLibrary {
         seed: u64,
         nodes: usize,
     ) -> Arc<WorkloadRealization> {
+        self.realize_with_origin(cfg, seed, nodes).0
+    }
+
+    /// Like [`Self::realize`], also reporting how the lookup was served
+    /// — so callers (the cluster simulator's telemetry) can attribute a
+    /// hit/miss/bypass to *this* realization without racing on the
+    /// shared counters.
+    pub fn realize_with_origin(
+        &self,
+        cfg: &CoarseTraceConfig,
+        seed: u64,
+        nodes: usize,
+    ) -> (Arc<WorkloadRealization>, RealizeOrigin) {
         if cache_disabled() {
             self.bypasses.fetch_add(1, Ordering::Relaxed);
-            return Arc::new(WorkloadRealization::synthesize(cfg, seed, nodes));
+            let real = Arc::new(WorkloadRealization::synthesize(cfg, seed, nodes));
+            return (real, RealizeOrigin::Bypass);
         }
         let key = RealizationKey::new(cfg, seed, nodes);
-        let slot = {
+        let (slot, origin) = {
             let mut st = self.state();
             st.clock += 1;
             let now = st.clock;
@@ -362,17 +387,19 @@ impl TraceLibrary {
                 hash_map::Entry::Occupied(mut e) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     e.get_mut().last_used = now;
-                    e.get().slot.clone()
+                    (e.get().slot.clone(), RealizeOrigin::Hit)
                 }
                 hash_map::Entry::Vacant(v) => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    v.insert(Entry {
-                        slot: Arc::new(OnceLock::new()),
-                        last_used: now,
-                        bytes: 0,
-                    })
-                    .slot
-                    .clone()
+                    let slot = v
+                        .insert(Entry {
+                            slot: Arc::new(OnceLock::new()),
+                            last_used: now,
+                            bytes: 0,
+                        })
+                        .slot
+                        .clone();
+                    (slot, RealizeOrigin::Miss)
                 }
             }
         };
@@ -390,7 +417,7 @@ impl TraceLibrary {
             }
         }
         self.evict_over_budget(&mut st, &key);
-        real
+        (real, origin)
     }
 
     /// Drop LRU-initialized entries (never `keep`) until under budget.
