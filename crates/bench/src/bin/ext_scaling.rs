@@ -1,21 +1,55 @@
-//! Extension: simulator scaling sweep — all four policies at 64–4096
+//! Extension: simulator scaling sweep — all four policies at 64–65,536
 //! nodes in constant-load throughput mode, with wall-clock per
 //! node-window. The paper's evaluation stops at 64 workstations; this
-//! sweep shows the indexed-node-state window loop holds its
-//! per-node-window cost out to thousands.
+//! sweep shows the struct-of-arrays window loop holds its
+//! per-node-window cost out to the full building.
+//!
+//! Beyond the shared harness flags, `--max-nodes <n>` truncates the
+//! sweep (e.g. `--max-nodes 16384` for a CI smoke run that skips the
+//! 65,536-node cells).
 
-use linger_bench::output::{banner, note_artifact, HarnessArgs};
+use linger_bench::output::{banner, note_artifact, HarnessArgs, USAGE};
 use linger_bench::{
-    ext_scaling, scaling_ns_per_node_window, write_json, Table, SCALING_NODE_COUNTS,
+    ext_scaling_at, scaling_ns_per_node_window, write_json, Table, SCALING_NODE_COUNTS,
 };
 
 fn main() {
-    let args = HarnessArgs::parse();
+    // Extract the bin-local `--max-nodes` before the shared parser (which
+    // rejects flags it does not know) sees the argument list.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_nodes = usize::MAX;
+    while let Some(i) = raw.iter().position(|a| a == "--max-nodes") {
+        raw.remove(i);
+        if i >= raw.len() {
+            eprintln!("error: --max-nodes requires a value\n{USAGE}");
+            std::process::exit(2);
+        }
+        let v = raw.remove(i);
+        max_nodes = match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: --max-nodes requires an integer, got '{v}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+    }
+    let args = match HarnessArgs::try_parse(raw) {
+        Ok(args) => {
+            linger_sim_core::set_default_jobs(args.jobs);
+            args
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}\n     --max-nodes <n>  truncate the node-count sweep");
+            std::process::exit(2);
+        }
+    };
+    let counts: Vec<usize> =
+        SCALING_NODE_COUNTS.iter().copied().filter(|&n| n <= max_nodes).collect();
     banner(
         "Extension: scaling sweep",
-        "four policies, 64-4096 nodes, cost per node-window",
+        "four policies, 64-65,536 nodes, cost per node-window",
     );
-    let (points, timings) = ext_scaling(args.seed, args.fast);
+    let (points, timings) = ext_scaling_at(args.seed, &counts, args.fast);
     let mut t = Table::new(vec![
         "nodes",
         "policy",
@@ -39,8 +73,8 @@ fn main() {
         ]);
     }
     t.print();
-    let lo = SCALING_NODE_COUNTS[0];
-    let hi = *SCALING_NODE_COUNTS.last().unwrap();
+    let lo = counts[0];
+    let hi = *counts.last().unwrap();
     let base = scaling_ns_per_node_window(&timings, lo);
     let top = scaling_ns_per_node_window(&timings, hi);
     println!(

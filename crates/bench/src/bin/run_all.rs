@@ -362,24 +362,70 @@ fn main() {
         }
     }
 
-    println!("running extension scaling sweep (64-4096 nodes) …");
+    println!("running extension scaling sweep (64-65,536 nodes) …");
     match timings.time_caught("ext_scaling", || ext_scaling(args.seed, args.fast)) {
         None => checks.push(section_panicked("ext_scaling")),
         Some((es, es_t)) => {
             note_artifact("ext_scaling", write_json("ext_scaling", &es));
-            let ns_lo = scaling_ns_per_node_window(&es_t, SCALING_NODE_COUNTS[0]);
-            let ns_hi =
-                scaling_ns_per_node_window(&es_t, *SCALING_NODE_COUNTS.last().unwrap());
-            timings.scaling = es_t;
+            let lo_nodes = SCALING_NODE_COUNTS[0];
+            let hi_nodes = *SCALING_NODE_COUNTS.last().unwrap();
+            // Per-policy flatness: at 65,536 nodes the window loop may
+            // cost at most 1.5x its 64-node ns/node-window, for every
+            // policy — the struct-of-arrays + sharded-sweep criterion.
+            let per_policy: Vec<(String, f64, f64)> = ["LL", "LF", "IE", "PM"]
+                .iter()
+                .filter_map(|&p| {
+                    let at = |n: usize| {
+                        es_t.iter()
+                            .find(|t| t.nodes == n && t.policy == p)
+                            .map(|t| t.ns_per_node_window)
+                    };
+                    Some((p.to_string(), at(lo_nodes)?, at(hi_nodes)?))
+                })
+                .collect();
+            let worst_ratio = per_policy
+                .iter()
+                .map(|(_, lo, hi)| hi / lo.max(1e-12))
+                .fold(0.0f64, f64::max);
             checks.push(Check {
-                name: "Ext: window-loop cost per node-window flat to 4096 nodes",
-                paper: "extension: indexed node state, no per-window rescans".into(),
-                measured: format!(
-                    "{ns_lo:.0} ns at 64 nodes vs {ns_hi:.0} ns at 4096 ({:.2}x)",
-                    ns_hi / ns_lo.max(1e-12)
-                ),
-                ok: ns_hi <= 2.0 * ns_lo,
+                name: "Ext: per-policy window-loop cost flat to 65,536 nodes",
+                paper: "SoA hot state + sharded sweep: <=1.5x the 64-node cost".into(),
+                measured: per_policy
+                    .iter()
+                    .map(|(p, lo, hi)| format!("{p} {lo:.0}->{hi:.0}ns ({:.2}x)", hi / lo.max(1e-12)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                ok: !per_policy.is_empty() && worst_ratio <= 1.5,
             });
+            // Setup (trace synthesis + construction) must scale
+            // sub-quadratically: growth exponent over the last 16x node
+            // step below 2. Run time is reported alongside so the two
+            // phases stay separately visible.
+            let mean_setup = |n: usize| {
+                let cells: Vec<f64> =
+                    es_t.iter().filter(|t| t.nodes == n).map(|t| t.setup_secs).collect();
+                cells.iter().sum::<f64>() / cells.len().max(1) as f64
+            };
+            let mean_run = |n: usize| {
+                let cells: Vec<f64> =
+                    es_t.iter().filter(|t| t.nodes == n).map(|t| t.run_secs).collect();
+                cells.iter().sum::<f64>() / cells.len().max(1) as f64
+            };
+            let mid_nodes = SCALING_NODE_COUNTS[SCALING_NODE_COUNTS.len() - 2];
+            let (setup_mid, setup_hi) = (mean_setup(mid_nodes), mean_setup(hi_nodes));
+            let exponent = (setup_hi / setup_mid.max(1e-12)).ln()
+                / (hi_nodes as f64 / mid_nodes as f64).ln();
+            checks.push(Check {
+                name: "Ext: setup vs run split; setup sub-quadratic to 65,536",
+                paper: "setup grows < O(n^2) (one shared realization per count)".into(),
+                measured: format!(
+                    "at {hi_nodes}: setup {setup_hi:.2}s / run {:.2}s; \
+                     setup exponent {exponent:.2} over {mid_nodes}->{hi_nodes}",
+                    mean_run(hi_nodes)
+                ),
+                ok: setup_hi > 0.0 && exponent < 2.0,
+            });
+            timings.scaling = es_t;
         }
     }
 
@@ -561,6 +607,33 @@ fn main() {
     .into_iter()
     .flatten()
     .collect();
+    // Per-cell window-loop costs (ns per node-window) measured on the
+    // reference machine immediately before the struct-of-arrays +
+    // sharded-sweep change (seed 1998, --jobs default, timing_reps as
+    // recorded: >=3 only for 64-node cells). Machine-dependent —
+    // informational.
+    let scaling_before_ns: &[(usize, &str, f64)] = if args.fast {
+        &[
+            (64, "LL", 124.9), (64, "LF", 64.5), (64, "IE", 39.9), (64, "PM", 37.7),
+            (1024, "LL", 83.5), (1024, "LF", 76.9), (1024, "IE", 46.2), (1024, "PM", 47.0),
+            (4096, "LL", 105.9), (4096, "LF", 92.6), (4096, "IE", 67.3), (4096, "PM", 71.4),
+            (16_384, "LL", 192.2), (16_384, "LF", 186.0), (16_384, "IE", 114.9),
+            (16_384, "PM", 109.6),
+            (65_536, "LL", 631.6), (65_536, "LF", 645.4), (65_536, "IE", 368.1),
+            (65_536, "PM", 438.3),
+        ]
+    } else {
+        &[
+            (64, "LL", 141.6), (64, "LF", 141.6), (64, "IE", 46.6), (64, "PM", 56.9),
+            (1024, "LL", 79.6), (1024, "LF", 79.8), (1024, "IE", 48.2), (1024, "PM", 47.4),
+            (4096, "LL", 135.0), (4096, "LF", 93.3), (4096, "IE", 53.5), (4096, "PM", 60.1),
+            (16_384, "LL", 137.3), (16_384, "LF", 124.4), (16_384, "IE", 87.5),
+            (16_384, "PM", 79.8),
+            (65_536, "LL", 244.3), (65_536, "LF", 224.4), (65_536, "IE", 151.5),
+            (65_536, "PM", 135.1),
+        ]
+    };
+    timings.scaling_baselines = ScalingBaseline::compare(&timings.scaling, scaling_before_ns);
     match timings.write("BENCH_runall.json") {
         Ok(()) => println!("[wrote BENCH_runall.json]"),
         Err(e) => eprintln!("[warn: could not write BENCH_runall.json: {e}]"),

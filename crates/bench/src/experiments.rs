@@ -535,7 +535,7 @@ pub fn ext_parallel_throughput(
 }
 
 /// Node counts the scaling extension sweeps.
-pub const SCALING_NODE_COUNTS: [usize; 4] = [64, 256, 1024, 4096];
+pub const SCALING_NODE_COUNTS: [usize; 6] = [64, 256, 1024, 4096, 16_384, 65_536];
 
 /// One deterministic cell of the scaling sweep. Every field is a pure
 /// function of `(seed, fast)`, so CI can byte-diff the JSON across
@@ -567,13 +567,14 @@ pub struct ScalingTiming {
     /// Seconds building the simulator (per-cell share of the trace
     /// synthesis, which runs once per node count, plus construction).
     pub setup_secs: f64,
-    /// Seconds inside the window loop, averaged over the timing
-    /// replicates.
+    /// Seconds inside the window loop — the **median** of the
+    /// individually-timed replicates, robust against a scheduler blip
+    /// landing in one rep.
     pub run_secs: f64,
-    /// Identical runs timed: small cells finish in microseconds, so the
-    /// loop repeats until the measured time is comfortably above clock
-    /// granularity. Replicates share traces and produce byte-identical
-    /// results; only the first run's outcomes are reported.
+    /// Identical runs timed independently (always ≥ 3; more for small
+    /// cells, whose single run sits near clock granularity). Replicates
+    /// share traces and produce byte-identical results; only the first
+    /// run's outcomes are reported.
     pub timing_reps: u32,
     /// `nodes × windows` of one run of the cell.
     pub node_windows: f64,
@@ -635,11 +636,14 @@ pub fn ext_scaling_at(
             let t1 = std::time::Instant::now();
             let expected_windows =
                 (horizon.as_nanos() / linger_cluster::WINDOW.as_nanos()) as f64;
-            // Enough identical runs to keep the timed region well above
-            // clock granularity (a 64-node cell alone finishes in ~2 ms).
+            // Enough identical runs to keep each timed region well above
+            // clock granularity (a 64-node cell alone finishes in ~2 ms),
+            // and never fewer than three so the median below has
+            // something to reject an outlier against.
             let reps = ((256.0 * 1024.0 / (nodes as f64 * expected_windows)).ceil()
                 as u32)
-                .clamp(1, 16);
+                .clamp(1, 16)
+                .max(3);
             let mut sims: Vec<linger_cluster::ClusterSim> = (0..reps)
                 .map(|_| {
                     let family = JobFamily::uniform(
@@ -656,11 +660,23 @@ pub fn ext_scaling_at(
                 })
                 .collect();
             let setup_secs = shared_setup + t1.elapsed().as_secs_f64();
-            let t2 = std::time::Instant::now();
-            for sim in &mut sims {
-                sim.run();
-            }
-            let run_secs = t2.elapsed().as_secs_f64() / reps as f64;
+            // Time each replicate independently and keep the median, so
+            // one preempted rep cannot drag the reported cost.
+            let mut rep_secs: Vec<f64> = sims
+                .iter_mut()
+                .map(|sim| {
+                    let t2 = std::time::Instant::now();
+                    sim.run();
+                    t2.elapsed().as_secs_f64()
+                })
+                .collect();
+            rep_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let mid = rep_secs.len() / 2;
+            let run_secs = if rep_secs.len() % 2 == 1 {
+                rep_secs[mid]
+            } else {
+                (rep_secs[mid - 1] + rep_secs[mid]) / 2.0
+            };
             let sim = &sims[0];
             let windows =
                 (sim.now().as_nanos() / linger_cluster::WINDOW.as_nanos()) as usize;

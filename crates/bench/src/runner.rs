@@ -170,6 +170,10 @@ pub struct RunTimings {
     /// Recorded before→after wall-clock comparisons for sections whose
     /// speedup a PR claims (machine-dependent; informational).
     pub baselines: Vec<SectionBaseline>,
+    /// Recorded before→after window-loop costs (ns per node-window) for
+    /// the scaling sweep's cells, per policy and node count
+    /// (machine-dependent; informational).
+    pub scaling_baselines: Vec<ScalingBaseline>,
     /// Sections that panicked under [`RunTimings::time_caught`]; the run
     /// continued past them.
     pub failed_sections: Vec<FailedSection>,
@@ -239,6 +243,48 @@ impl SectionBaseline {
             after_secs,
             speedup: if after_secs > 0.0 { before_secs / after_secs } else { 0.0 },
         })
+    }
+}
+
+/// One scaling-sweep cell's window-loop cost against a pre-change
+/// measurement on the reference machine — the [`SectionBaseline`] idea
+/// at (nodes, policy) granularity (machine-dependent; informational).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingBaseline {
+    /// Cluster size of the cell.
+    pub nodes: usize,
+    /// Policy abbreviation (LL / LF / IE / PM).
+    pub policy: String,
+    /// Pre-change window-loop nanoseconds per node-window.
+    pub before_ns: f64,
+    /// This run's window-loop nanoseconds per node-window.
+    pub after_ns: f64,
+    /// `before_ns / after_ns` (> 1 is an improvement).
+    pub speedup: f64,
+}
+
+impl ScalingBaseline {
+    /// Match each recorded `(nodes, policy, before_ns)` triple against
+    /// the sweep's measured timings; triples whose cell did not run are
+    /// skipped.
+    pub fn compare(
+        timings: &[crate::experiments::ScalingTiming],
+        before: &[(usize, &str, f64)],
+    ) -> Vec<Self> {
+        before
+            .iter()
+            .filter_map(|&(nodes, policy, before_ns)| {
+                let t = timings.iter().find(|t| t.nodes == nodes && t.policy == policy)?;
+                let after_ns = t.ns_per_node_window;
+                Some(ScalingBaseline {
+                    nodes,
+                    policy: policy.to_string(),
+                    before_ns,
+                    after_ns,
+                    speedup: if after_ns > 0.0 { before_ns / after_ns } else { 0.0 },
+                })
+            })
+            .collect()
     }
 }
 

@@ -50,4 +50,4 @@ pub use metrics::{
 };
 pub use network::NetworkModel;
 pub use sim::{ClusterSim, WINDOW};
-pub use state::{JobRecord, JobState, NodeId, NodeState, StateBreakdown};
+pub use state::{JobCold, JobRecord, JobSlabs, JobState, NodeId, NodeSlabs, StateBreakdown};

@@ -11,14 +11,32 @@
 //! One foreign job runs per node at a time (Sec 3.2: free memory
 //! "sufficient to accommodate one compute-bound foreign job of moderate
 //! size"), gated by the two-pool memory model's admission check.
+//!
+//! ## Sharded window sweep
+//!
+//! The per-window sweeps are organised as *classify → merge*: the node-id
+//! space is partitioned into word-aligned shards ([`ShardPlan`]) that
+//! each scan their own slice of the hot struct-of-arrays slabs and record
+//! per-node **intents** (pure functions of the window-start state), and a
+//! single sequential pass then applies the intents in ascending node
+//! order — exactly the order the historical single loop visited nodes.
+//! Every side effect (index mutations, queue pushes, f64 accumulations,
+//! telemetry emission) happens only in the merge, so the produced bytes
+//! are identical at any shard count and any worker count; shards merely
+//! decide which execution unit *computed* each intent. Shards run on
+//! scoped threads only for large clusters (see
+//! [`ClusterSim::set_shards`]); otherwise they run in-line, through the
+//! same buffers.
 
 use crate::config::{ClusterConfig, RunMode};
 use crate::faults::{FaultEventKind, FaultModel, FaultStats};
-use crate::state::{JobRecord, JobState, NodeId, NodeState};
+use crate::state::{JobCold, JobRecord, JobSlabs, JobState, NodeId, NodeSlabs, NO_JOB, NO_NODE};
 use linger::cost::should_migrate;
 use linger::{JobId, JobSpec, Policy};
 use linger_node::steal_rate;
-use linger_sim_core::{NodeIndex, SimDuration, SimTime};
+use linger_sim_core::{
+    default_jobs, prefetch_read, NodeIndex, ShardPlan, SimDuration, SimTime,
+};
 use linger_telemetry::{DecisionAction, Event, EventKind, JournalCounts, Recorder};
 use linger_workload::{
     CoarseTrace, RealizeOrigin, TraceLibrary, TwoPoolMemory, WindowTable, WorkloadRealization,
@@ -29,6 +47,18 @@ use std::sync::Arc;
 
 /// One simulation window (= the coarse-trace sampling period).
 pub const WINDOW: SimDuration = SimDuration::from_secs(SAMPLE_PERIOD_SECS);
+
+/// Nodes below this count never spawn shard worker threads (the per-
+/// window spawn cost would dwarf the sweep itself). Overridable via
+/// `LINGER_SHARD_THREAD_MIN` and [`ClusterSim::set_shard_threading_min`].
+const SHARD_THREAD_MIN_NODES: usize = 8192;
+
+/// Default shard count for an `n`-node cluster: one shard per ~8k nodes,
+/// capped so merge buffers stay small. Purely an execution choice — any
+/// value produces the same bytes.
+fn default_shard_count(n: usize) -> usize {
+    (n / 8192).clamp(1, 16)
+}
 
 /// FNV-1a over the JSON serialization of a config — a stable name for
 /// its telemetry spill file.
@@ -42,11 +72,67 @@ fn config_digest(cfg: &ClusterConfig) -> u64 {
     h
 }
 
+/// What the decision sweep resolved for one busy node — recorded by the
+/// owning shard, applied in ascending node order by the merge.
+#[derive(Debug, Clone, Copy)]
+struct DecideIntent {
+    ni: u32,
+    ji: u32,
+    kind: DecideKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DecideKind {
+    /// A running job's node turned non-idle: apply the policy reaction.
+    NonIdle,
+    /// A lingering job's node turned idle again.
+    ResumeLinger,
+    /// Still lingering on a non-idle node under LL: run the migration
+    /// test (destination choice needs the live candidate set, so it
+    /// happens in the merge).
+    LingerCheck,
+    /// A paused job's node turned idle again.
+    ResumePause,
+    /// A paused job's grace period expired.
+    PauseEvict,
+}
+
+/// Progress computed for one busy node: the expensive per-node math
+/// (steal-rate interpolation, residency, completion fraction) done in the
+/// owning shard; the merge only applies exact integer gains and
+/// pre-computed f64 terms in ascending node order.
+#[derive(Debug, Clone, Copy)]
+struct ProgressIntent {
+    ni: u32,
+    ji: u32,
+    state: JobState,
+    kind: ProgressKind,
+    /// CPU earned this window (integer nanoseconds — exact).
+    gain: SimDuration,
+    /// Fraction of the window elapsed at completion (Complete only).
+    frac: f64,
+    /// Foreground delay seconds to accumulate (Lingering only).
+    delay_add: f64,
+    has_delay: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ProgressKind {
+    /// Paused/migrating-in: account the window, no progress.
+    Account,
+    /// Earns `gain`, does not finish this window.
+    Advance,
+    /// Finishes `frac` of the way into the window.
+    Complete,
+}
+
 /// The cluster simulation.
 pub struct ClusterSim {
     cfg: ClusterConfig,
-    nodes: Vec<NodeState>,
-    jobs: Vec<JobRecord>,
+    /// Per-node hot/cold slabs (occupancy, memory; traces behind them).
+    nodes: NodeSlabs,
+    /// Per-job hot/cold slabs; materialized via [`Self::jobs`].
+    jobs: JobSlabs,
     queue: VecDeque<usize>,
     window: usize,
     /// Total foreign CPU delivered (throughput numerator).
@@ -64,19 +150,17 @@ pub struct ClusterSim {
     free: NodeIndex,
     /// Complement of `free`: nodes hosting (or reserved for) a job.
     busy: NodeIndex,
-    /// `free ∧ idle_w` — the destination-candidate set every placement
-    /// and migration query starts from. Rebuilt from the traces at the
-    /// top of each window, then maintained at every claim/release, so a
-    /// saturated cluster answers "no idle node" in O(1) instead of
-    /// rescanning all free nodes.
+    /// `free ∧ idle` — the destination-candidate set every placement
+    /// and migration query starts from. Rebuilt from the window's idle
+    /// words at the top of each window, then maintained at every
+    /// claim/release, so a saturated cluster answers "no idle node" in
+    /// O(1) instead of rescanning all free nodes.
     free_idle: NodeIndex,
-    /// Per-window scratch: `is_idle`/`cpu` of every node at the current
-    /// window, filled once per [`Self::step`].
-    idle_w: Vec<bool>,
+    /// Per-window scratch: the recruitment idle flags of every node at
+    /// the current window as packed bit words, and the CPU demands.
+    idle_words: Vec<u64>,
     cpu_w: Vec<f64>,
-    /// Reusable buffers for the window loop (snapshot of `busy`, and the
-    /// not-yet-placeable queue tail).
-    busy_scratch: Vec<usize>,
+    /// Scratch for the not-yet-placeable queue tail.
     place_scratch: VecDeque<usize>,
     /// Superset of the jobs currently in [`JobState::Migrating`] —
     /// appended to on every migration start, compacted each window — so
@@ -87,6 +171,14 @@ pub struct ClusterSim {
     /// simulator over the same realization; `None` when the traces have
     /// unequal periods.
     window_table: Option<Arc<WindowTable>>,
+    /// Word-aligned partition of the node-id space driving the
+    /// classify phase of every sweep.
+    plan: ShardPlan,
+    /// Reusable per-shard intent buffers.
+    decide_bufs: Vec<Vec<DecideIntent>>,
+    progress_bufs: Vec<Vec<ProgressIntent>>,
+    /// Minimum cluster size before shards run on scoped threads.
+    thread_min: usize,
     /// Pre-materialized crash/reboot schedule and migration-failure
     /// draws; empty/quiet when `cfg.faults` is disabled.
     faults: FaultModel,
@@ -167,20 +259,8 @@ impl ClusterSim {
     ) -> Self {
         assert_eq!(traces.len(), cfg.nodes, "one trace per node");
         assert_eq!(offsets.len(), cfg.nodes, "one offset per node");
-        let nodes: Vec<NodeState> = traces
-            .into_iter()
-            .zip(offsets)
-            .map(|(trace, offset)| {
-                let mem0 = trace.sample(offset).mem_used_kb;
-                NodeState {
-                    trace,
-                    offset,
-                    memory: TwoPoolMemory::new(cfg.node_memory_kb, mem0),
-                    hosted: None,
-                }
-            })
-            .collect();
-        let jobs: Vec<JobRecord> = cfg.family.jobs().iter().map(|s| JobRecord::new(*s)).collect();
+        let nodes = NodeSlabs::new(traces, offsets, cfg.node_memory_kb);
+        let jobs = JobSlabs::from_specs(cfg.family.jobs());
         let queue = (0..jobs.len()).collect();
         let next_job_id = jobs.len() as u32;
         let n = cfg.nodes;
@@ -193,6 +273,16 @@ impl ClusterSim {
         };
         let max_windows = (horizon.as_nanos() / WINDOW.as_nanos()) as usize + 1;
         let faults = FaultModel::new(cfg.faults, cfg.seed, n, max_windows);
+        let shards = std::env::var("LINGER_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| default_shard_count(n));
+        let thread_min = std::env::var("LINGER_SHARD_THREAD_MIN")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(SHARD_THREAD_MIN_NODES);
+        let plan = ShardPlan::new(n, shards.max(1));
+        let shard_count = plan.shard_count().max(1);
         ClusterSim {
             cfg,
             nodes,
@@ -207,18 +297,59 @@ impl ClusterSim {
             free: NodeIndex::full(n),
             busy: NodeIndex::new(n),
             free_idle: NodeIndex::new(n),
-            idle_w: vec![false; n],
+            idle_words: vec![0; n.div_ceil(64).max(1)],
             cpu_w: vec![0.0; n],
-            busy_scratch: Vec::with_capacity(n),
             place_scratch: VecDeque::new(),
             migrating: Vec::new(),
             window_table,
+            plan,
+            decide_bufs: vec![Vec::new(); shard_count],
+            progress_bufs: vec![Vec::new(); shard_count],
+            thread_min,
             faults,
             crashed: NodeIndex::new(n),
             fault_cursor: 0,
             fault_stats: FaultStats::default(),
             telemetry: Recorder::from_env(),
             telemetry_absorbed: JournalCounts::default(),
+        }
+    }
+
+    /// Repartition the node-id space into (at most) `shards` shards.
+    ///
+    /// An execution knob only: any shard count produces byte-identical
+    /// results, because all side effects are applied by the sequential
+    /// index-ordered merge. Defaults to one shard per ~8k nodes;
+    /// `LINGER_SHARDS` overrides the default at construction.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.plan = ShardPlan::new(self.nodes.len(), shards.max(1));
+        let shard_count = self.plan.shard_count().max(1);
+        self.decide_bufs = vec![Vec::new(); shard_count];
+        self.progress_bufs = vec![Vec::new(); shard_count];
+    }
+
+    /// Builder-style [`Self::set_shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
+    }
+
+    /// Lower the node-count threshold above which shards run on scoped
+    /// worker threads (default 8192; `LINGER_SHARD_THREAD_MIN` overrides
+    /// it at construction). Tests use this to exercise the threaded path
+    /// on small clusters; results are identical either way.
+    pub fn set_shard_threading_min(&mut self, min_nodes: usize) {
+        self.thread_min = min_nodes;
+    }
+
+    /// Worker threads to use for the classify phase this window: 1 (run
+    /// shards in-line) unless the cluster is large, several shards exist,
+    /// and the process worker pool is wider than one.
+    fn shard_workers(&self) -> usize {
+        if self.plan.shard_count() <= 1 || self.nodes.len() < self.thread_min {
+            1
+        } else {
+            default_jobs().min(self.plan.shard_count())
         }
     }
 
@@ -250,9 +381,9 @@ impl ClusterSim {
         SimTime::ZERO + WINDOW.mul_f64(self.window as f64)
     }
 
-    /// The job records (inspect after a run).
-    pub fn jobs(&self) -> &[JobRecord] {
-        &self.jobs
+    /// Materialized job records in index order (inspect after a run).
+    pub fn jobs(&self) -> Vec<JobRecord> {
+        self.jobs.records()
     }
 
     /// Total foreign CPU delivered so far.
@@ -279,6 +410,12 @@ impl ClusterSim {
     /// `cfg.faults` is disabled).
     pub fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    /// Recruitment idle flag of node `ni` at the current window.
+    #[inline]
+    fn idle_at(&self, ni: usize) -> bool {
+        self.idle_words[ni / 64] & (1u64 << (ni % 64)) != 0
     }
 
     /// Run to the configured termination condition. Returns `true` on
@@ -341,38 +478,9 @@ impl ClusterSim {
         self.telemetry.record(|| {
             self.event_at(t, EventKind::WindowStart { queue_depth: self.queue.len() as u32 })
         });
-
-        // 0. Per-window node state: one trace lookup per node, reused by
-        //    every policy/placement query below instead of re-deriving
-        //    idle/cpu from the trace at each query.
-        // (Memory demand refreshes in the same pass: each node's fields
-        // are independent, so fusing the loops only saves a second walk
-        // over the node array. The window-major table holds the exact
-        // values the per-trace lookups would return.)
-        self.free_idle.clear();
-        if let Some(tbl) = &self.window_table {
-            let row = tbl.row(w);
-            for (ni, c) in row.iter().enumerate() {
-                self.idle_w[ni] = c.idle;
-                self.cpu_w[ni] = c.cpu;
-                self.nodes[ni].memory.set_local_kb(c.mem_kb);
-                if c.idle && self.free.contains(ni) {
-                    self.free_idle.insert(ni);
-                }
-            }
-        } else {
-            for ni in 0..self.nodes.len() {
-                let node = &mut self.nodes[ni];
-                let idle = node.is_idle(w);
-                self.idle_w[ni] = idle;
-                self.cpu_w[ni] = node.cpu(w);
-                let used = node.mem_used(w);
-                node.memory.set_local_kb(used);
-                if idle && self.free.contains(ni) {
-                    self.free_idle.insert(ni);
-                }
-            }
-        }
+        // 0. Per-window node state: copy the window's cpu/idle lanes into
+        //    the scratch arrays and refresh every node's memory demand.
+        self.refresh_window(w);
 
         // 1. Fault events. A crash knocks the node out of every
         //    scheduling set and kills whatever it hosted (or was
@@ -405,17 +513,15 @@ impl ClusterSim {
             let flows = mig
                 .iter()
                 .filter(|&&ji| {
-                    let j = &self.jobs[ji];
-                    j.state == JobState::Migrating
-                        && j.migration_bits_left.is_some_and(|b| b > 0.0)
+                    self.jobs.state[ji] == JobState::Migrating
+                        && self.jobs.cold[ji].migration_bits_left.is_some_and(|b| b > 0.0)
                 })
                 .count();
             if flows > 0 {
                 let moved = net.bits_transferred(flows, WINDOW.as_secs_f64());
                 for &ji in &mig {
-                    let j = &mut self.jobs[ji];
-                    if j.state == JobState::Migrating {
-                        if let Some(bits) = j.migration_bits_left.as_mut() {
+                    if self.jobs.state[ji] == JobState::Migrating {
+                        if let Some(bits) = self.jobs.cold[ji].migration_bits_left.as_mut() {
                             *bits -= moved;
                         }
                     }
@@ -423,16 +529,16 @@ impl ClusterSim {
             }
         }
         for &ji in &mig {
-            let j = &self.jobs[ji];
-            let fixed_done = j.migration_until.is_some_and(|until| t >= until);
-            let bits_done = j.migration_bits_left.is_none_or(|b| b <= 0.0);
-            if j.state == JobState::Migrating && fixed_done && bits_done {
-                if self.faults.migration_fails(j.spec.id.0, j.transfer_seq) {
+            let cold = &self.jobs.cold[ji];
+            let fixed_done = cold.migration_until.is_some_and(|until| t >= until);
+            let bits_done = cold.migration_bits_left.is_none_or(|b| b <= 0.0);
+            if self.jobs.state[ji] == JobState::Migrating && fixed_done && bits_done {
+                if self.faults.migration_fails(self.jobs.id[ji].0, cold.transfer_seq) {
                     // The image was lost in transit: free the reserved
                     // destination and retry with backoff (or abandon).
                     self.fault_stats.migration_failures += 1;
-                    let dest = j.node.expect("migration has a destination");
-                    let job = j.spec.id.0;
+                    let dest = self.jobs.node(ji).expect("migration has a destination");
+                    let job = self.jobs.id[ji].0;
                     self.telemetry.record(|| {
                         self.event_at(t, EventKind::MigrationFail { dest: dest.0 as u32 })
                             .on_node(dest.0 as u32)
@@ -445,97 +551,29 @@ impl ClusterSim {
                 }
             }
         }
-        mig.retain(|&ji| self.jobs[ji].state == JobState::Migrating);
+        mig.retain(|&ji| self.jobs.state[ji] == JobState::Migrating);
         mig.extend(&self.migrating);
         self.migrating = mig;
 
         // 3. Idle/non-idle transitions and policy decisions — hosted
-        //    nodes only; the busy index skips free nodes entirely.
-        //    Snapshot it first: migrations during the loop reshape the
-        //    set, but any node (re)claimed mid-loop hosts a Migrating
-        //    job, which every arm below ignores, and released nodes are
-        //    caught by the re-check on `hosted`.
-        let mut busy_scratch = std::mem::take(&mut self.busy_scratch);
-        busy_scratch.clear();
-        busy_scratch.extend(self.busy.iter());
-        for &ni in &busy_scratch {
-            let Some(ji) = self.nodes[ni].hosted else { continue };
-            match self.jobs[ji].state {
-                JobState::Running
-                    if !self.idle_w[ni] => {
-                        self.on_non_idle(ji, NodeId(ni), t);
-                    }
-                JobState::Lingering => {
-                    if self.idle_w[ni] {
-                        // Episode over; back to plain running.
-                        self.jobs[ji].state = JobState::Running;
-                        self.jobs[ji].episode_start = None;
-                        self.record_decision(ji, NodeId(ni), t, DecisionAction::Resume, None);
-                    } else if self.cfg.params.policy == Policy::LingerLonger {
-                        self.maybe_migrate_lingering(ji, NodeId(ni), t);
-                    }
-                }
-                JobState::Paused => {
-                    if self.idle_w[ni] {
-                        self.jobs[ji].state = JobState::Running;
-                        self.jobs[ji].episode_start = None;
-                        self.jobs[ji].pause_deadline = None;
-                        self.record_decision(ji, NodeId(ni), t, DecisionAction::Resume, None);
-                    } else if self.jobs[ji].pause_deadline.is_some_and(|d| t >= d) {
-                        self.evict(ji, NodeId(ni), t);
-                    }
-                }
-                _ => {}
-            }
-        }
+        //    nodes only; the busy index skips free nodes entirely. Each
+        //    shard classifies its busy nodes against the window-start
+        //    state (each decision below only ever releases its *own* node
+        //    or claims a free one, so per-node classification is pure
+        //    over the phase start); the merge applies them ascending.
+        self.classify_decisions(t);
+        self.apply_decisions(t);
 
         // 4. Progress, completions, and delay accounting. The busy-hours
-        //    sum runs over every node (same ascending order as before);
-        //    job progress only touches hosted nodes.
+        //    sum runs over every node (same ascending order as always —
+        //    f64 addition is order-sensitive, so it stays sequential);
+        //    job progress only touches hosted nodes: shards do the
+        //    steal-rate math, the merge applies it ascending.
         for ni in 0..self.nodes.len() {
             self.local_busy_secs += self.cpu_w[ni] * WINDOW.as_secs_f64();
         }
-        busy_scratch.clear();
-        busy_scratch.extend(self.busy.iter());
-        for &ni in &busy_scratch {
-            let u = self.cpu_w[ni];
-            let Some(ji) = self.nodes[ni].hosted else { continue };
-            let state = self.jobs[ji].state;
-            if !matches!(state, JobState::Running | JobState::Lingering) {
-                // Paused/migrating-in jobs make no progress; account time.
-                self.jobs[ji].breakdown.add(state, WINDOW);
-                continue;
-            }
-            // Memory pressure: a partially-resident job pages and slows
-            // proportionally.
-            let residency = self.nodes[ni].memory.foreign_residency();
-            let rate = steal_rate(&self.cfg.table, u, self.cfg.params.context_switch) * residency;
-            if state == JobState::Lingering {
-                // Added foreground latency: one context switch per local
-                // run burst; expected bursts in the window = u·W / R(u).
-                let run_mean = self.cfg.table.interpolate(u).run_mean;
-                if run_mean > 0.0 {
-                    self.local_delay_secs += self.cfg.params.context_switch.as_secs_f64()
-                        * (u * WINDOW.as_secs_f64() / run_mean);
-                }
-            }
-            let gain = WINDOW.mul_f64(rate);
-            let remaining = self.jobs[ji].remaining;
-            if rate > 0.0 && remaining <= gain {
-                // Completes within this window.
-                let frac = remaining.as_secs_f64() / gain.as_secs_f64();
-                let at = t + WINDOW.mul_f64(frac);
-                self.foreign_cpu += remaining;
-                self.jobs[ji].remaining = SimDuration::ZERO;
-                self.jobs[ji].breakdown.add(state, WINDOW.mul_f64(frac));
-                self.complete(ji, NodeId(ni), at);
-            } else {
-                self.foreign_cpu += gain;
-                self.jobs[ji].remaining = remaining.saturating_sub(gain);
-                self.jobs[ji].breakdown.add(state, WINDOW);
-            }
-        }
-        self.busy_scratch = busy_scratch;
+        self.classify_progress();
+        self.apply_progress(t);
 
         // 5. Placement of queued jobs.
         self.place_queued(t);
@@ -550,15 +588,260 @@ impl ClusterSim {
         //    migration arm never fired.
         // Queue time starts at submission, not at simulation start.
         for qi in 0..self.queue.len() {
+            if let Some(&ahead) = self.queue.get(qi + 8) {
+                prefetch_read(&self.jobs.breakdown[ahead]);
+            }
             let ji = self.queue[qi];
-            let j = &mut self.jobs[ji];
-            debug_assert_eq!(j.state, JobState::Queued);
-            if t >= j.spec.arrival {
-                j.breakdown.add(JobState::Queued, WINDOW);
+            debug_assert_eq!(self.jobs.state[ji], JobState::Queued);
+            if t >= self.jobs.arrival[ji] {
+                self.jobs.breakdown[ji].add(JobState::Queued, WINDOW);
             }
         }
 
         self.window += 1;
+    }
+
+    /// Phase 0: refresh the per-window scratch (cpu lane, idle words,
+    /// memory demand) and rebuild the `free ∧ idle` candidate set.
+    ///
+    /// With a window table, each shard streams its own slice of the three
+    /// SoA lanes: busy nodes take the full two-pool accounting path
+    /// (reclaim/regrow against the hosted job), then a branch-free bulk
+    /// store refreshes every node — a value-level no-op on the busy nodes
+    /// just updated, and exactly equivalent to the full path on nodes
+    /// with no foreign job attached.
+    fn refresh_window(&mut self, w: usize) {
+        if let Some(tbl) = &self.window_table {
+            let cpu_row = tbl.cpu_row(w);
+            let mem_row = tbl.mem_row(w);
+            let idle_row = tbl.idle_row(w);
+            let plan = &self.plan;
+            let busy_words = self.busy.words();
+            let cpu_parts = plan.split_mut(&mut self.cpu_w);
+            let mem_parts = plan.split_mut(&mut self.nodes.memory);
+            let idle_parts = plan.split_words_mut(&mut self.idle_words);
+            let workers = {
+                // Inline shard_workers(): `self` is partially borrowed.
+                if plan.shard_count() <= 1 || plan.len() < self.thread_min {
+                    1
+                } else {
+                    default_jobs().min(plan.shard_count())
+                }
+            };
+            let shard_args = cpu_parts.into_iter().zip(mem_parts).zip(idle_parts).enumerate();
+            if workers > 1 {
+                std::thread::scope(|scope| {
+                    for (si, ((cpu_dst, mem_dst), idle_dst)) in shard_args {
+                        let range = plan.ranges()[si].clone();
+                        let busy_w = &busy_words[plan.word_range(si)];
+                        scope.spawn(move || {
+                            refresh_shard(
+                                range, cpu_dst, idle_dst, mem_dst, busy_w, cpu_row, mem_row,
+                                idle_row,
+                            )
+                        });
+                    }
+                });
+            } else {
+                for (si, ((cpu_dst, mem_dst), idle_dst)) in shard_args {
+                    let range = plan.ranges()[si].clone();
+                    let busy_w = &busy_words[plan.word_range(si)];
+                    refresh_shard(
+                        range, cpu_dst, idle_dst, mem_dst, busy_w, cpu_row, mem_row, idle_row,
+                    );
+                }
+            }
+        } else {
+            // Slow path (mixed-period traces): per-node trace lookups.
+            self.idle_words.fill(0);
+            for ni in 0..self.nodes.len() {
+                if self.nodes.is_idle(ni, w) {
+                    self.idle_words[ni / 64] |= 1u64 << (ni % 64);
+                }
+                self.cpu_w[ni] = self.nodes.cpu(ni, w);
+                let used = self.nodes.mem_used(ni, w);
+                self.nodes.memory[ni].set_local_kb(used);
+            }
+        }
+        // One O(n/64) pass replaces the historical per-node inserts; the
+        // set content is identical (`free` already excludes crashed
+        // nodes).
+        self.free_idle.assign_and_words(&self.idle_words, &self.free);
+    }
+
+    /// Phase 3 classify: every shard scans its slice of the busy index
+    /// and records what the policy would do to each hosted job, reading
+    /// only window-start state.
+    fn classify_decisions(&mut self, t: SimTime) {
+        let mut bufs = std::mem::take(&mut self.decide_bufs);
+        let plan = &self.plan;
+        let busy_words = self.busy.words();
+        let hosted = &self.nodes.hosted;
+        let job_state = &self.jobs.state;
+        let cold = &self.jobs.cold;
+        let idle_words = &self.idle_words;
+        let policy = self.cfg.params.policy;
+        let workers = self.shard_workers();
+        let run = |si: usize, out: &mut Vec<DecideIntent>| {
+            out.clear();
+            let wr = plan.word_range(si);
+            classify_decisions_shard(
+                wr.start,
+                &busy_words[wr],
+                hosted,
+                job_state,
+                cold,
+                idle_words,
+                policy,
+                t,
+                out,
+            );
+        };
+        if workers > 1 {
+            let run = &run;
+            std::thread::scope(|scope| {
+                for (si, out) in bufs.iter_mut().enumerate() {
+                    scope.spawn(move || run(si, out));
+                }
+            });
+        } else {
+            for (si, out) in bufs.iter_mut().enumerate() {
+                run(si, out);
+            }
+        }
+        self.decide_bufs = bufs;
+    }
+
+    /// Phase 3 merge: apply the recorded decisions in ascending node
+    /// order — the order the historical single sweep visited busy nodes.
+    /// Destination selection (migrations, evictions) runs here against
+    /// the live candidate set, exactly as it always did.
+    fn apply_decisions(&mut self, t: SimTime) {
+        let mut bufs = std::mem::take(&mut self.decide_bufs);
+        for buf in &mut bufs {
+            for i in 0..buf.len() {
+                // Start a later intent's job-record fill while this one
+                // applies; every arm below touches `cold[ji]`.
+                if let Some(ahead) = buf.get(i + 8) {
+                    prefetch_read(&self.jobs.cold[ahead.ji as usize]);
+                }
+                let intent = buf[i];
+                let ni = NodeId(intent.ni as usize);
+                let ji = intent.ji as usize;
+                match intent.kind {
+                    DecideKind::NonIdle => self.on_non_idle(ji, ni, t),
+                    DecideKind::ResumeLinger => {
+                        // Episode over; back to plain running.
+                        self.jobs.state[ji] = JobState::Running;
+                        self.jobs.cold[ji].episode_start = None;
+                        self.record_decision(ji, ni, t, DecisionAction::Resume, None);
+                    }
+                    DecideKind::LingerCheck => self.maybe_migrate_lingering(ji, ni, t),
+                    DecideKind::ResumePause => {
+                        self.jobs.state[ji] = JobState::Running;
+                        self.jobs.cold[ji].episode_start = None;
+                        self.jobs.cold[ji].pause_deadline = None;
+                        self.record_decision(ji, ni, t, DecisionAction::Resume, None);
+                    }
+                    DecideKind::PauseEvict => self.evict(ji, ni, t),
+                }
+            }
+            buf.clear();
+        }
+        self.decide_bufs = bufs;
+    }
+
+    /// Phase 4 classify: the per-busy-node steal-rate/residency math,
+    /// done by the owning shard against phase-start state (progress on
+    /// one node never touches another's inputs).
+    fn classify_progress(&mut self) {
+        let mut bufs = std::mem::take(&mut self.progress_bufs);
+        let plan = &self.plan;
+        let busy_words = self.busy.words();
+        let hosted = &self.nodes.hosted;
+        let memory = &self.nodes.memory;
+        let job_state = &self.jobs.state;
+        let remaining = &self.jobs.remaining;
+        let cpu_w = &self.cpu_w;
+        let cfg = &self.cfg;
+        let workers = self.shard_workers();
+        let run = |si: usize, out: &mut Vec<ProgressIntent>| {
+            out.clear();
+            let wr = plan.word_range(si);
+            classify_progress_shard(
+                wr.start,
+                &busy_words[wr],
+                hosted,
+                job_state,
+                remaining,
+                memory,
+                cpu_w,
+                cfg,
+                out,
+            );
+        };
+        if workers > 1 {
+            let run = &run;
+            std::thread::scope(|scope| {
+                for (si, out) in bufs.iter_mut().enumerate() {
+                    scope.spawn(move || run(si, out));
+                }
+            });
+        } else {
+            for (si, out) in bufs.iter_mut().enumerate() {
+                run(si, out);
+            }
+        }
+        self.progress_bufs = bufs;
+    }
+
+    /// Phase 4 merge: apply gains, delays, and completions in ascending
+    /// node order. The f64 accumulations happen here, in the historical
+    /// order, with the exact expressions the shards pre-computed.
+    fn apply_progress(&mut self, t: SimTime) {
+        let mut bufs = std::mem::take(&mut self.progress_bufs);
+        for buf in &mut bufs {
+            for i in 0..buf.len() {
+                // Start a later intent's demand/breakdown fills while
+                // this one applies.
+                if let Some(ahead) = buf.get(i + 8) {
+                    let j = ahead.ji as usize;
+                    prefetch_read(&self.jobs.remaining[j]);
+                    prefetch_read(&self.jobs.breakdown[j]);
+                }
+                let p = buf[i];
+                let ji = p.ji as usize;
+                match p.kind {
+                    ProgressKind::Account => {
+                        // Paused/migrating-in jobs make no progress;
+                        // account time.
+                        self.jobs.breakdown[ji].add(p.state, WINDOW);
+                    }
+                    ProgressKind::Advance => {
+                        if p.has_delay {
+                            self.local_delay_secs += p.delay_add;
+                        }
+                        self.foreign_cpu += p.gain;
+                        self.jobs.remaining[ji] =
+                            self.jobs.remaining[ji].saturating_sub(p.gain);
+                        self.jobs.breakdown[ji].add(p.state, WINDOW);
+                    }
+                    ProgressKind::Complete => {
+                        if p.has_delay {
+                            self.local_delay_secs += p.delay_add;
+                        }
+                        let remaining = self.jobs.remaining[ji];
+                        let at = t + WINDOW.mul_f64(p.frac);
+                        self.foreign_cpu += remaining;
+                        self.jobs.remaining[ji] = SimDuration::ZERO;
+                        self.jobs.breakdown[ji].add(p.state, WINDOW.mul_f64(p.frac));
+                        self.complete(ji, NodeId(p.ni as usize), at);
+                    }
+                }
+            }
+            buf.clear();
+        }
+        self.progress_bufs = bufs;
     }
 
     /// Record a policy decision about `ji` on `node` (telemetry only —
@@ -581,7 +864,7 @@ impl ClusterSim {
                 dest: dest.map(|d| d.0 as u32),
             })
             .on_node(node.0 as u32)
-            .for_job(self.jobs[ji].spec.id.0)
+            .for_job(self.jobs.id[ji].0)
         });
     }
 
@@ -590,14 +873,14 @@ impl ClusterSim {
         match self.cfg.params.policy {
             Policy::ImmediateEviction => self.evict(ji, node, t),
             Policy::PauseAndMigrate => {
-                self.jobs[ji].state = JobState::Paused;
-                self.jobs[ji].episode_start = Some(t);
-                self.jobs[ji].pause_deadline = Some(t + self.cfg.params.pause_timeout);
+                self.jobs.state[ji] = JobState::Paused;
+                self.jobs.cold[ji].episode_start = Some(t);
+                self.jobs.cold[ji].pause_deadline = Some(t + self.cfg.params.pause_timeout);
                 self.record_decision(ji, node, t, DecisionAction::Pause, None);
             }
             Policy::LingerLonger | Policy::LingerForever => {
-                self.jobs[ji].state = JobState::Lingering;
-                self.jobs[ji].episode_start = Some(t);
+                self.jobs.state[ji] = JobState::Lingering;
+                self.jobs.cold[ji].episode_start = Some(t);
                 self.record_decision(ji, node, t, DecisionAction::Linger, None);
             }
         }
@@ -607,13 +890,14 @@ impl ClusterSim {
     /// age reaches `T_lingr = (1−l)/(h−l)·T_migr` for the best available
     /// destination, migrate.
     fn maybe_migrate_lingering(&mut self, ji: usize, node: NodeId, t: SimTime) {
-        let Some(start) = self.jobs[ji].episode_start else { return };
-        let Some(dest) = self.best_destination(self.jobs[ji].spec, Some(node)) else {
+        let Some(start) = self.jobs.cold[ji].episode_start else { return };
+        let mem_kb = self.jobs.mem_kb[ji];
+        let Some(dest) = self.best_destination(mem_kb, Some(node)) else {
             return; // nowhere better to go; keep lingering
         };
         let h = self.cpu_w[node.0];
         let l = self.cpu_w[dest.0];
-        let t_migr = self.cfg.params.migration.cost(self.jobs[ji].spec.mem_kb);
+        let t_migr = self.cfg.params.migration.cost(mem_kb);
         let age = t.saturating_since(start);
         if should_migrate(age, h, l, t_migr) {
             self.telemetry.record(|| {
@@ -626,7 +910,7 @@ impl ClusterSim {
                     dest: Some(dest.0 as u32),
                 })
                 .on_node(node.0 as u32)
-                .for_job(self.jobs[ji].spec.id.0)
+                .for_job(self.jobs.id[ji].0)
             });
             self.migrate(ji, node, dest, t);
         }
@@ -636,7 +920,7 @@ impl ClusterSim {
     /// return to the queue (the migration cost is then paid when the job
     /// is re-placed).
     fn evict(&mut self, ji: usize, node: NodeId, t: SimTime) {
-        match self.best_destination(self.jobs[ji].spec, Some(node)) {
+        match self.best_destination(self.jobs.mem_kb[ji], Some(node)) {
             Some(dest) => {
                 self.record_decision(ji, node, t, DecisionAction::Evict, Some(dest));
                 self.migrate(ji, node, dest, t);
@@ -652,17 +936,17 @@ impl ClusterSim {
     /// Return a job to the central queue with no node and no in-flight
     /// migration state.
     fn requeue(&mut self, ji: usize, t: SimTime) {
-        let j = &mut self.jobs[ji];
-        j.state = JobState::Queued;
-        j.node = None;
-        j.episode_start = None;
-        j.pause_deadline = None;
-        j.migration_until = None;
-        j.migration_bits_left = None;
-        j.migration_attempts = 0;
+        self.jobs.state[ji] = JobState::Queued;
+        self.jobs.node[ji] = NO_NODE;
+        let cold = &mut self.jobs.cold[ji];
+        cold.episode_start = None;
+        cold.pause_deadline = None;
+        cold.migration_until = None;
+        cold.migration_bits_left = None;
+        cold.migration_attempts = 0;
         self.queue.push_back(ji);
         self.telemetry.record(|| {
-            self.event_at(t, EventKind::QueueEnter).for_job(self.jobs[ji].spec.id.0)
+            self.event_at(t, EventKind::QueueEnter).for_job(self.jobs.id[ji].0)
         });
     }
 
@@ -678,20 +962,20 @@ impl ClusterSim {
         self.fault_stats.crashes += 1;
         self.free.remove(ni);
         self.free_idle.remove(ni);
-        let hosted = self.nodes[ni].hosted;
+        let hosted = self.nodes.hosted(ni);
         self.telemetry.record(|| {
             self.event_at(t, EventKind::NodeCrash {
-                evicted: hosted.map(|ji| self.jobs[ji].spec.id.0),
+                evicted: hosted.map(|ji| self.jobs.id[ji].0),
             })
             .on_node(ni as u32)
         });
         if let Some(ji) = hosted {
-            self.nodes[ni].memory.detach_foreign();
-            self.nodes[ni].hosted = None;
+            self.nodes.memory[ni].detach_foreign();
+            self.nodes.set_hosted(ni, None);
             self.busy.remove(ni);
             self.fault_stats.crash_evictions += 1;
-            self.jobs[ji].crashes += 1;
-            if self.jobs[ji].state == JobState::Migrating {
+            self.jobs.cold[ji].crashes += 1;
+            if self.jobs.state[ji] == JobState::Migrating {
                 // The in-flight image died with its destination; retry
                 // toward a fresh one under the same backoff budget.
                 self.retry_migration(ji, t);
@@ -709,7 +993,7 @@ impl ClusterSim {
         }
         self.crashed.remove(ni);
         self.free.insert(ni);
-        if self.idle_w[ni] {
+        if self.idle_at(ni) {
             self.free_idle.insert(ni);
         }
         self.telemetry
@@ -722,18 +1006,18 @@ impl ClusterSim {
     /// migration once the attempt budget is spent. The caller has
     /// already released (or lost) the previous destination.
     fn retry_migration(&mut self, ji: usize, t: SimTime) {
-        let attempt = self.jobs[ji].migration_attempts.max(1);
+        let attempt = self.jobs.cold[ji].migration_attempts.max(1);
         let retry = self.cfg.params.retry;
         if attempt >= retry.max_attempts {
             self.fault_stats.migrations_abandoned += 1;
             self.telemetry.record(|| {
-                self.event_at(t, EventKind::MigrationAbandon).for_job(self.jobs[ji].spec.id.0)
+                self.event_at(t, EventKind::MigrationAbandon).for_job(self.jobs.id[ji].0)
             });
             self.requeue(ji, t);
             return;
         }
-        let spec = self.jobs[ji].spec;
-        let Some(dest) = self.best_destination(spec, None) else {
+        let mem_kb = self.jobs.mem_kb[ji];
+        let Some(dest) = self.best_destination(mem_kb, None) else {
             // Nowhere to retry toward; fall back to the queue instead of
             // burning attempts against a saturated cluster.
             self.requeue(ji, t);
@@ -743,17 +1027,17 @@ impl ClusterSim {
         self.telemetry.record(|| {
             self.event_at(t, EventKind::MigrationRetry { dest: dest.0 as u32, attempt })
                 .on_node(dest.0 as u32)
-                .for_job(spec.id.0)
+                .for_job(self.jobs.id[ji].0)
         });
         let start = t + retry.retry_delay(attempt - 1);
-        let (until, bits) = self.migration_terms(spec.mem_kb, start);
-        let j = &mut self.jobs[ji];
-        j.state = JobState::Migrating;
-        j.node = Some(dest);
-        j.migration_until = Some(until);
-        j.migration_bits_left = bits;
-        j.migration_attempts = attempt + 1;
-        j.transfer_seq += 1;
+        let (until, bits) = self.migration_terms(mem_kb, start);
+        self.jobs.state[ji] = JobState::Migrating;
+        self.jobs.node[ji] = dest.0 as u32;
+        let cold = &mut self.jobs.cold[ji];
+        cold.migration_until = Some(until);
+        cold.migration_bits_left = bits;
+        cold.migration_attempts = attempt + 1;
+        cold.transfer_seq += 1;
         self.migrating.push(ji);
         self.claim_node(dest, ji);
     }
@@ -763,20 +1047,20 @@ impl ClusterSim {
         self.telemetry.record(|| {
             self.event_at(t, EventKind::MigrationStart { dest: dest.0 as u32, attempt: 1 })
                 .on_node(from.0 as u32)
-                .for_job(self.jobs[ji].spec.id.0)
+                .for_job(self.jobs.id[ji].0)
         });
         self.release_node(from);
-        let (until, bits) = self.migration_terms(self.jobs[ji].spec.mem_kb, t);
-        let j = &mut self.jobs[ji];
-        j.state = JobState::Migrating;
-        j.node = Some(dest);
-        j.migration_until = Some(until);
-        j.migration_bits_left = bits;
-        j.episode_start = None;
-        j.pause_deadline = None;
-        j.migrations += 1;
-        j.migration_attempts = 1;
-        j.transfer_seq += 1;
+        let (until, bits) = self.migration_terms(self.jobs.mem_kb[ji], t);
+        self.jobs.state[ji] = JobState::Migrating;
+        self.jobs.node[ji] = dest.0 as u32;
+        let cold = &mut self.jobs.cold[ji];
+        cold.migration_until = Some(until);
+        cold.migration_bits_left = bits;
+        cold.episode_start = None;
+        cold.pause_deadline = None;
+        cold.migrations += 1;
+        cold.migration_attempts = 1;
+        cold.transfer_seq += 1;
         self.migrating.push(ji);
         self.claim_node(dest, ji); // reserve
     }
@@ -800,24 +1084,24 @@ impl ClusterSim {
 
     /// A migrating job materializes on its reserved destination.
     fn arrive(&mut self, ji: usize, t: SimTime) {
-        let node = self.jobs[ji].node.expect("migration has a destination");
+        let node = self.jobs.node(ji).expect("migration has a destination");
         self.telemetry.record(|| {
             self.event_at(t, EventKind::MigrationArrive { dest: node.0 as u32 })
                 .on_node(node.0 as u32)
-                .for_job(self.jobs[ji].spec.id.0)
+                .for_job(self.jobs.id[ji].0)
         });
-        self.nodes[node.0].memory.attach_foreign(self.jobs[ji].spec.mem_kb);
-        let idle = self.idle_w[node.0];
-        let j = &mut self.jobs[ji];
-        j.migration_until = None;
-        j.migration_bits_left = None;
-        j.migration_attempts = 0;
-        j.has_run = true;
-        if j.first_start.is_none() {
-            j.first_start = Some(t);
+        self.nodes.memory[node.0].attach_foreign(self.jobs.mem_kb[ji]);
+        let idle = self.idle_at(node.0);
+        let cold = &mut self.jobs.cold[ji];
+        cold.migration_until = None;
+        cold.migration_bits_left = None;
+        cold.migration_attempts = 0;
+        cold.has_run = true;
+        if cold.first_start.is_none() {
+            cold.first_start = Some(t);
         }
-        j.state = JobState::Running;
-        j.episode_start = None;
+        self.jobs.state[ji] = JobState::Running;
+        self.jobs.cold[ji].episode_start = None;
         if !idle {
             // The destination turned non-idle while the job was in
             // transit: apply the policy's non-idle reaction immediately
@@ -830,54 +1114,52 @@ impl ClusterSim {
     /// Job finished: free the node, record, respawn in throughput mode.
     fn complete(&mut self, ji: usize, node: NodeId, at: SimTime) {
         self.release_node(node);
-        let j = &mut self.jobs[ji];
-        j.state = JobState::Done;
-        j.node = None;
-        j.completed_at = Some(at);
+        self.jobs.state[ji] = JobState::Done;
+        self.jobs.node[ji] = NO_NODE;
+        self.jobs.cold[ji].completed_at = Some(at);
         self.completed += 1;
-        let j = &self.jobs[ji];
+        let b = self.jobs.breakdown[ji];
+        let completion_secs = at.saturating_since(self.jobs.arrival[ji]).as_secs_f64();
+        let migrations = self.jobs.cold[ji].migrations;
         self.telemetry.record(|| {
             self.event_at(at, EventKind::Complete {
-                queued_secs: j.breakdown.queued.as_secs_f64(),
-                running_secs: j.breakdown.running.as_secs_f64(),
-                lingering_secs: j.breakdown.lingering.as_secs_f64(),
-                paused_secs: j.breakdown.paused.as_secs_f64(),
-                migrating_secs: j.breakdown.migrating.as_secs_f64(),
-                completion_secs: j
-                    .completion_time()
-                    .map(|d| d.as_secs_f64())
-                    .unwrap_or(0.0),
-                migrations: j.migrations,
+                queued_secs: b.queued.as_secs_f64(),
+                running_secs: b.running.as_secs_f64(),
+                lingering_secs: b.lingering.as_secs_f64(),
+                paused_secs: b.paused.as_secs_f64(),
+                migrating_secs: b.migrating.as_secs_f64(),
+                completion_secs,
+                migrations,
             })
             .on_node(node.0 as u32)
-            .for_job(j.spec.id.0)
+            .for_job(self.jobs.id[ji].0)
         });
-        let j = &mut self.jobs[ji];
         if let RunMode::Throughput { .. } = self.cfg.mode {
             // Hold the number of jobs in the system constant.
             let spec = JobSpec {
                 id: JobId(self.next_job_id),
                 arrival: at,
-                ..j.spec
+                cpu_demand: self.jobs.cold[ji].cpu_demand,
+                mem_kb: self.jobs.mem_kb[ji],
             };
             self.next_job_id += 1;
-            self.jobs.push(JobRecord::new(spec));
-            self.queue.push_back(self.jobs.len() - 1);
+            let new_ji = self.jobs.push(spec);
+            self.queue.push_back(new_ji);
         }
     }
 
     fn claim_node(&mut self, node: NodeId, ji: usize) {
-        self.nodes[node.0].hosted = Some(ji);
+        self.nodes.set_hosted(node.0, Some(ji));
         self.free.remove(node.0);
         self.free_idle.remove(node.0);
         self.busy.insert(node.0);
     }
 
     fn release_node(&mut self, node: NodeId) {
-        self.nodes[node.0].memory.detach_foreign();
-        self.nodes[node.0].hosted = None;
+        self.nodes.memory[node.0].detach_foreign();
+        self.nodes.set_hosted(node.0, None);
         self.free.insert(node.0);
-        if self.idle_w[node.0] {
+        if self.idle_at(node.0) {
             self.free_idle.insert(node.0);
         }
         self.busy.remove(node.0);
@@ -890,12 +1172,12 @@ impl ClusterSim {
     /// scan visited nodes — so `min_by` (with the id tiebreak) picks the
     /// very same destination, and a saturated cluster (no free idle
     /// nodes) answers in O(1).
-    fn best_destination(&self, spec: JobSpec, exclude: Option<NodeId>) -> Option<NodeId> {
+    fn best_destination(&self, mem_kb: u32, exclude: Option<NodeId>) -> Option<NodeId> {
         let ex = exclude.map(|n| n.0);
         self.free_idle
             .iter()
             .filter(|&ni| Some(ni) != ex)
-            .filter(|&ni| self.nodes[ni].memory.fits(spec.mem_kb))
+            .filter(|&ni| self.nodes.memory[ni].fits(mem_kb))
             .min_by(|&a, &b| {
                 self.cpu_w[a]
                     .partial_cmp(&self.cpu_w[b])
@@ -911,6 +1193,11 @@ impl ClusterSim {
     fn place_queued(&mut self, t: SimTime) {
         let mut unplaced = std::mem::take(&mut self.place_scratch);
         unplaced.clear();
+        // Destination indexes for this pass, built lazily on first use:
+        // each sorts one candidate pool once, so a long queue costs one
+        // sweep per pool instead of a full min-scan per queued job.
+        let mut idle_idx: Option<PassIndex> = None;
+        let mut nonidle_idx: Option<PassIndex> = None;
         // Smallest memory demand whose scan already came up empty this
         // pass. While placing, both candidate sets only shrink (claims
         // remove nodes; free nodes' memory never changes mid-pass), so a
@@ -921,39 +1208,45 @@ impl ClusterSim {
         let mut idle_fail_kb = u32::MAX;
         let mut nonidle_fail_kb = u32::MAX;
         while let Some(ji) = self.queue.pop_front() {
-            if self.jobs[ji].spec.arrival > t {
+            if self.jobs.arrival[ji] > t {
                 unplaced.push_back(ji);
                 continue;
             }
-            let spec = self.jobs[ji].spec;
-            let mut target = if spec.mem_kb >= idle_fail_kb {
+            // Only the dense hot lanes (`mem_kb`, `arrival`) are read on
+            // the skip path — a saturated queue never touches the cold
+            // job slab at all.
+            let mem_kb = self.jobs.mem_kb[ji];
+            let mut target = if mem_kb >= idle_fail_kb {
                 None
             } else {
-                let d = self.best_destination(spec, None);
+                let idx = idle_idx.get_or_insert_with(|| {
+                    PassIndex::build(
+                        self.free_idle.iter(),
+                        &self.cpu_w,
+                        &self.nodes.memory,
+                    )
+                });
+                let d = idx.query(mem_kb, &self.free_idle);
                 if d.is_none() {
-                    idle_fail_kb = spec.mem_kb;
+                    idle_fail_kb = mem_kb;
                 }
                 d
             };
             if target.is_none()
                 && self.cfg.params.policy.places_on_non_idle()
-                && spec.mem_kb < nonidle_fail_kb
+                && mem_kb < nonidle_fail_kb
             {
                 // Least-loaded non-idle node that can take the job.
-                let d = self
-                    .free
-                    .iter()
-                    .filter(|&ni| !self.idle_w[ni])
-                    .filter(|&ni| self.nodes[ni].memory.fits(spec.mem_kb))
-                    .min_by(|&a, &b| {
-                        self.cpu_w[a]
-                            .partial_cmp(&self.cpu_w[b])
-                            .expect("finite cpu")
-                            .then(a.cmp(&b))
-                    })
-                    .map(NodeId);
+                let idx = nonidle_idx.get_or_insert_with(|| {
+                    PassIndex::build(
+                        self.free.iter().filter(|&ni| !self.idle_at(ni)),
+                        &self.cpu_w,
+                        &self.nodes.memory,
+                    )
+                });
+                let d = idx.query(mem_kb, &self.free);
                 if d.is_none() {
-                    nonidle_fail_kb = spec.mem_kb;
+                    nonidle_fail_kb = mem_kb;
                 }
                 target = d;
             }
@@ -970,40 +1263,40 @@ impl ClusterSim {
                             migration_secs: None,
                             dest: Some(dest.0 as u32),
                         })
-                        .for_job(spec.id.0)
+                        .for_job(self.jobs.id[ji].0)
                     });
-                    if self.jobs[ji].has_run {
+                    if self.jobs.cold[ji].has_run {
                         // Re-materializing an evicted job costs a
                         // migration.
-                        let (until, bits) = self.migration_terms(spec.mem_kb, t);
-                        let j = &mut self.jobs[ji];
-                        j.state = JobState::Migrating;
-                        j.node = Some(dest);
-                        j.migration_until = Some(until);
-                        j.migration_bits_left = bits;
-                        j.migrations += 1;
-                        j.migration_attempts = 1;
-                        j.transfer_seq += 1;
+                        let (until, bits) = self.migration_terms(mem_kb, t);
+                        self.jobs.state[ji] = JobState::Migrating;
+                        self.jobs.node[ji] = dest.0 as u32;
+                        let cold = &mut self.jobs.cold[ji];
+                        cold.migration_until = Some(until);
+                        cold.migration_bits_left = bits;
+                        cold.migrations += 1;
+                        cold.migration_attempts = 1;
+                        cold.transfer_seq += 1;
                         self.migrating.push(ji);
                         self.telemetry.record(|| {
                             self.event_at(t, EventKind::MigrationStart {
                                 dest: dest.0 as u32,
                                 attempt: 1,
                             })
-                            .for_job(spec.id.0)
+                            .for_job(self.jobs.id[ji].0)
                         });
                     } else {
-                        self.nodes[dest.0].memory.attach_foreign(spec.mem_kb);
-                        let idle = self.idle_w[dest.0];
-                        let j = &mut self.jobs[ji];
-                        j.node = Some(dest);
-                        j.has_run = true;
-                        j.first_start = Some(t);
+                        self.nodes.memory[dest.0].attach_foreign(mem_kb);
+                        let idle = self.idle_at(dest.0);
+                        self.jobs.node[ji] = dest.0 as u32;
+                        let cold = &mut self.jobs.cold[ji];
+                        cold.has_run = true;
+                        cold.first_start = Some(t);
                         if idle {
-                            j.state = JobState::Running;
+                            self.jobs.state[ji] = JobState::Running;
                         } else {
-                            j.state = JobState::Lingering;
-                            j.episode_start = Some(t);
+                            self.jobs.state[ji] = JobState::Lingering;
+                            self.jobs.cold[ji].episode_start = Some(t);
                             self.record_decision(ji, dest, t, DecisionAction::Linger, None);
                         }
                     }
@@ -1013,6 +1306,253 @@ impl ClusterSim {
         // The drained queue buffer becomes next window's scratch.
         std::mem::swap(&mut self.queue, &mut unplaced);
         self.place_scratch = unplaced;
+    }
+}
+
+/// One placement pass's destination index over one candidate pool
+/// (free ∧ idle, or free ∧ non-idle): the pool's members at first use,
+/// sorted by the exact `(cpu, id)` order [`ClusterSim::best_destination`]'s
+/// `min_by` visits them, with each node's free memory precomputed.
+///
+/// Within a pass the pool only shrinks (placements claim nodes; free
+/// nodes' memory never changes mid-pass), so for a fixed demand the
+/// first fitting position only moves forward — a per-demand cursor
+/// turns the whole pass's lookups into one amortized sorted sweep,
+/// where the plain per-job `min_by` rescans every candidate (the
+/// free-but-unfitting ones over and over) and goes quadratic on big
+/// clusters.
+struct PassIndex {
+    /// `(cpu busy fraction, node id, free KB)`, ascending `(cpu, id)`.
+    cands: Vec<(f64, u32, u32)>,
+    /// demand KB → resume position; one entry per distinct demand seen.
+    cursors: Vec<(u32, usize)>,
+}
+
+impl PassIndex {
+    fn build(
+        members: impl Iterator<Item = usize>,
+        cpu_w: &[f64],
+        memory: &[TwoPoolMemory],
+    ) -> Self {
+        let mut cands: Vec<(f64, u32, u32)> = members
+            .map(|ni| (cpu_w[ni], ni as u32, memory[ni].free_kb()))
+            .collect();
+        cands.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite cpu").then(a.1.cmp(&b.1))
+        });
+        PassIndex { cands, cursors: Vec::new() }
+    }
+
+    /// The minimum-`(cpu, id)` candidate still in `live` that fits
+    /// `mem_kb` — exactly what `best_destination`'s scan would return,
+    /// since skipped prefix entries are either claimed (gone for the
+    /// rest of the pass) or permanently too small for this demand.
+    fn query(&mut self, mem_kb: u32, live: &NodeIndex) -> Option<NodeId> {
+        let slot = match self.cursors.iter().position(|c| c.0 == mem_kb) {
+            Some(i) => i,
+            None => {
+                self.cursors.push((mem_kb, 0));
+                self.cursors.len() - 1
+            }
+        };
+        let mut pos = self.cursors[slot].1;
+        while let Some(&(_, ni, room)) = self.cands.get(pos) {
+            if room >= mem_kb && live.contains(ni as usize) {
+                break;
+            }
+            pos += 1;
+        }
+        self.cursors[slot].1 = pos;
+        self.cands.get(pos).map(|&(_, ni, _)| NodeId(ni as usize))
+    }
+}
+
+/// One shard's slice of phase 0: copy the window's cpu/idle lanes and
+/// refresh memory demand. `range` is the shard's node-id range (64-
+/// aligned start); `busy_words` is its slice of the busy bitset.
+#[allow(clippy::too_many_arguments)]
+fn refresh_shard(
+    range: std::ops::Range<usize>,
+    cpu_dst: &mut [f64],
+    idle_dst: &mut [u64],
+    mem: &mut [TwoPoolMemory],
+    busy_words: &[u64],
+    cpu_row: &[f64],
+    mem_row: &[u32],
+    idle_row: &[u64],
+) {
+    let base = range.start;
+    cpu_dst.copy_from_slice(&cpu_row[range.clone()]);
+    let word_base = base / 64;
+    idle_dst.copy_from_slice(&idle_row[word_base..word_base + idle_dst.len()]);
+    // Busy nodes take the full two-pool accounting path (reclaim/regrow
+    // against the hosted job's pool)...
+    for (k, &w0) in busy_words.iter().enumerate() {
+        let mut word = w0;
+        while word != 0 {
+            let ni = (word_base + k) * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            mem[ni - base].set_local_kb(mem_row[ni]);
+        }
+    }
+    // ...then a branch-free bulk store refreshes every node — a value-
+    // level no-op on the busy nodes just updated.
+    for (m, &kb) in mem.iter_mut().zip(&mem_row[range]) {
+        m.store_local_kb_unattached(kb);
+    }
+}
+
+/// One shard's slice of the phase 3 classify: record what the policy
+/// would do to each busy node's job, reading only window-start state.
+#[allow(clippy::too_many_arguments)]
+fn classify_decisions_shard(
+    word_base: usize,
+    busy_words: &[u64],
+    hosted: &[u32],
+    job_state: &[JobState],
+    cold: &[JobCold],
+    idle_words: &[u64],
+    policy: Policy,
+    t: SimTime,
+    out: &mut Vec<DecideIntent>,
+) {
+    for (k, &w0) in busy_words.iter().enumerate() {
+        let idle_word = idle_words[word_base + k];
+        // Gather the word's node → job pairs first, starting each job
+        // record's cache fill, so the classification below runs against
+        // lines already in flight instead of stalling one miss at a
+        // time. Pure reordering of reads — bit order is preserved.
+        let mut pairs = [(0u32, 0u32); 64];
+        let mut n = 0;
+        let mut word = w0;
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            let ni = (word_base + k) * 64 + bit;
+            let ji = hosted[ni];
+            debug_assert_ne!(ji, NO_JOB, "busy node must host a job");
+            prefetch_read(&job_state[ji as usize]);
+            pairs[n] = (ni as u32, ji);
+            n += 1;
+        }
+        for &(ni, ji) in &pairs[..n] {
+            let ni = ni as usize;
+            let bit = ni % 64;
+            let idle = idle_word & (1u64 << bit) != 0;
+            let kind = match job_state[ji as usize] {
+                JobState::Running if !idle => DecideKind::NonIdle,
+                JobState::Lingering if idle => DecideKind::ResumeLinger,
+                JobState::Lingering if policy == Policy::LingerLonger => DecideKind::LingerCheck,
+                JobState::Paused if idle => DecideKind::ResumePause,
+                JobState::Paused
+                    if cold[ji as usize].pause_deadline.is_some_and(|d| t >= d) =>
+                {
+                    DecideKind::PauseEvict
+                }
+                _ => continue,
+            };
+            out.push(DecideIntent { ni: ni as u32, ji, kind });
+        }
+    }
+}
+
+/// One shard's slice of the phase 4 classify: per-busy-node progress
+/// math. All f64 terms are computed here with the exact expressions the
+/// historical loop used; the merge only applies them in order.
+#[allow(clippy::too_many_arguments)]
+fn classify_progress_shard(
+    word_base: usize,
+    busy_words: &[u64],
+    hosted: &[u32],
+    job_state: &[JobState],
+    remaining: &[SimDuration],
+    memory: &[TwoPoolMemory],
+    cpu_w: &[f64],
+    cfg: &ClusterConfig,
+    out: &mut Vec<ProgressIntent>,
+) {
+    for (k, &w0) in busy_words.iter().enumerate() {
+        // Same gather-then-compute shape as the decision classify: get
+        // every hosted job's state and remaining-demand lines in flight
+        // before the steal-rate math dereferences them.
+        let mut pairs = [(0u32, 0u32); 64];
+        let mut n = 0;
+        let mut word = w0;
+        while word != 0 {
+            let ni = (word_base + k) * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            let ji = hosted[ni];
+            debug_assert_ne!(ji, NO_JOB, "busy node must host a job");
+            prefetch_read(&job_state[ji as usize]);
+            prefetch_read(&remaining[ji as usize]);
+            pairs[n] = (ni as u32, ji);
+            n += 1;
+        }
+        for &(ni, ji) in &pairs[..n] {
+            let ni = ni as usize;
+            let state = job_state[ji as usize];
+            if !matches!(state, JobState::Running | JobState::Lingering) {
+                out.push(ProgressIntent {
+                    ni: ni as u32,
+                    ji,
+                    state,
+                    kind: ProgressKind::Account,
+                    gain: SimDuration::ZERO,
+                    frac: 0.0,
+                    delay_add: 0.0,
+                    has_delay: false,
+                });
+                continue;
+            }
+            let u = cpu_w[ni];
+            // Memory pressure: a partially-resident job pages and slows
+            // proportionally.
+            let residency = memory[ni].foreign_residency();
+            let rate = steal_rate(&cfg.table, u, cfg.params.context_switch) * residency;
+            let (has_delay, delay_add) = if state == JobState::Lingering {
+                // Added foreground latency: one context switch per local
+                // run burst; expected bursts in the window = u·W / R(u).
+                let run_mean = cfg.table.interpolate(u).run_mean;
+                if run_mean > 0.0 {
+                    (
+                        true,
+                        cfg.params.context_switch.as_secs_f64()
+                            * (u * WINDOW.as_secs_f64() / run_mean),
+                    )
+                } else {
+                    (false, 0.0)
+                }
+            } else {
+                (false, 0.0)
+            };
+            let gain = WINDOW.mul_f64(rate);
+            let rem = remaining[ji as usize];
+            if rate > 0.0 && rem <= gain {
+                // Completes within this window.
+                let frac = rem.as_secs_f64() / gain.as_secs_f64();
+                out.push(ProgressIntent {
+                    ni: ni as u32,
+                    ji,
+                    state,
+                    kind: ProgressKind::Complete,
+                    gain,
+                    frac,
+                    delay_add,
+                    has_delay,
+                });
+            } else {
+                out.push(ProgressIntent {
+                    ni: ni as u32,
+                    ji,
+                    state,
+                    kind: ProgressKind::Advance,
+                    gain,
+                    frac: 0.0,
+                    delay_add,
+                    has_delay,
+                });
+            }
+        }
     }
 }
 
@@ -1140,6 +1680,51 @@ mod tests {
         assert_eq!(run(), run());
     }
 
+    /// Full observable outcome of a run, for sharding equivalence checks.
+    type Outcome = (Vec<(u64, u64, u32)>, u64, u64, u64, FaultStats);
+
+    fn run_outcome(mut sim: ClusterSim) -> Outcome {
+        sim.run();
+        let jobs: Vec<(u64, u64, u32)> = sim
+            .jobs()
+            .iter()
+            .map(|j| {
+                (
+                    j.completed_at.map_or(0, |t| t.as_nanos()),
+                    j.breakdown.total().as_nanos(),
+                    j.migrations,
+                )
+            })
+            .collect();
+        (
+            jobs,
+            sim.foreign_cpu_delivered().as_nanos(),
+            sim.local_busy_secs.to_bits(),
+            sim.local_delay_secs.to_bits(),
+            sim.fault_stats(),
+        )
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        for policy in Policy::ALL {
+            let baseline = run_outcome(ClusterSim::new(small_cfg(policy)).with_shards(1));
+            for shards in [2, 3, 7, 16] {
+                let sharded =
+                    run_outcome(ClusterSim::new(small_cfg(policy)).with_shards(shards));
+                assert_eq!(baseline, sharded, "{policy} diverged at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_shards_never_change_results() {
+        let baseline = run_outcome(ClusterSim::new(small_cfg(Policy::LingerLonger)));
+        let mut sim = ClusterSim::new(small_cfg(Policy::LingerLonger)).with_shards(4);
+        sim.set_shard_threading_min(1);
+        assert_eq!(baseline, run_outcome(sim));
+    }
+
     #[test]
     fn node_indices_track_hosted_state() {
         // The incremental free/busy indices must equal the naive hosted
@@ -1149,15 +1734,15 @@ mod tests {
             for _ in 0..300 {
                 sim.step();
                 let free_scan: Vec<usize> = (0..sim.nodes.len())
-                    .filter(|&ni| sim.nodes[ni].hosted.is_none())
+                    .filter(|&ni| sim.nodes.hosted(ni).is_none())
                     .collect();
                 let busy_scan: Vec<usize> = (0..sim.nodes.len())
-                    .filter(|&ni| sim.nodes[ni].hosted.is_some())
+                    .filter(|&ni| sim.nodes.hosted(ni).is_some())
                     .collect();
                 assert_eq!(sim.free.iter().collect::<Vec<_>>(), free_scan, "{policy}");
                 assert_eq!(sim.busy.iter().collect::<Vec<_>>(), busy_scan, "{policy}");
                 let free_idle_scan: Vec<usize> = (0..sim.nodes.len())
-                    .filter(|&ni| sim.nodes[ni].hosted.is_none() && sim.idle_w[ni])
+                    .filter(|&ni| sim.nodes.hosted(ni).is_none() && sim.idle_at(ni))
                     .collect();
                 assert_eq!(
                     sim.free_idle.iter().collect::<Vec<_>>(),
@@ -1206,10 +1791,10 @@ mod tests {
                     assert!(!sim.free.contains(ni), "crashed node in free");
                     assert!(!sim.busy.contains(ni), "crashed node in busy");
                     assert!(!sim.free_idle.contains(ni), "crashed node in free_idle");
-                    assert!(sim.nodes[ni].hosted.is_none(), "crashed node hosts a job");
+                    assert!(sim.nodes.hosted(ni).is_none(), "crashed node hosts a job");
                 } else {
-                    assert_eq!(sim.free.contains(ni), sim.nodes[ni].hosted.is_none());
-                    assert_eq!(sim.busy.contains(ni), sim.nodes[ni].hosted.is_some());
+                    assert_eq!(sim.free.contains(ni), sim.nodes.hosted(ni).is_none());
+                    assert_eq!(sim.busy.contains(ni), sim.nodes.hosted(ni).is_some());
                 }
             }
         }

@@ -1,6 +1,17 @@
 //! Runtime state of jobs and nodes in the cluster simulation.
+//!
+//! Both populations are held as struct-of-arrays slabs ([`NodeSlabs`],
+//! [`JobSlabs`]): the fields the window sweep reads for *every* busy
+//! node — occupancy, lifecycle state, remaining demand — live in dense
+//! parallel arrays keyed by index, while rarely-touched bookkeeping
+//! (migration deadlines, completion stamps, fault counters) sits in a
+//! separate cold slab. The hot sweep therefore streams a few contiguous
+//! arrays instead of striding through ~100-byte records, which is what
+//! keeps the per-node-window cost flat as clusters grow past the
+//! last-level cache. [`JobRecord`] remains the materialized per-job view
+//! handed to metrics and tests.
 
-use linger::JobSpec;
+use linger::{JobId, JobSpec};
 use linger_sim_core::{SimDuration, SimTime};
 use linger_workload::{CoarseTrace, TwoPoolMemory};
 use serde::{Deserialize, Serialize};
@@ -152,37 +163,252 @@ impl JobRecord {
     }
 }
 
-/// A workstation in the cluster.
-pub struct NodeState {
-    /// Replayed coarse trace.
-    pub trace: Arc<CoarseTrace>,
-    /// Start offset into the trace (random per node, Sec 4.2).
-    pub offset: usize,
-    /// Two-pool memory state.
-    pub memory: TwoPoolMemory,
-    /// The job currently on (or reserved for) this node.
-    pub hosted: Option<usize>, // index into the sim's job table
+/// Sentinel for "no job" in the packed [`NodeSlabs::hosted`] /
+/// [`JobSlabs`] node slabs.
+pub const NO_JOB: u32 = u32::MAX;
+
+/// Sentinel for "no node" in the packed [`JobSlabs`] node slab.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Per-node state as parallel slabs keyed by node id.
+///
+/// `hosted` (the occupancy array every placement and decision sweep
+/// reads) and `memory` (refreshed from the trace row each window) are
+/// the hot slabs; the trace handles and phase offsets are cold — they
+/// are only consulted on the slow path when no shared window table
+/// exists.
+pub struct NodeSlabs {
+    /// Job index hosted on (or reserved for) each node; [`NO_JOB`] when
+    /// free.
+    pub(crate) hosted: Vec<u32>,
+    /// Two-pool memory state per node.
+    pub(crate) memory: Vec<TwoPoolMemory>,
+    /// Replayed coarse trace per node (cold).
+    pub(crate) traces: Vec<Arc<CoarseTrace>>,
+    /// Start offset into each trace (random per node, Sec 4.2; cold).
+    pub(crate) offsets: Vec<usize>,
 }
 
-impl NodeState {
-    /// Trace sample index for window `w`.
-    pub fn sample_index(&self, w: usize) -> usize {
-        self.offset + w
+impl NodeSlabs {
+    /// Assemble the slabs for `traces`/`offsets`, with each node's memory
+    /// pool initialised from its trace sample at the start offset.
+    pub fn new(traces: Vec<Arc<CoarseTrace>>, offsets: Vec<usize>, node_memory_kb: u32) -> Self {
+        let memory = traces
+            .iter()
+            .zip(&offsets)
+            .map(|(trace, &offset)| {
+                TwoPoolMemory::new(node_memory_kb, trace.sample(offset).mem_used_kb)
+            })
+            .collect();
+        let hosted = vec![NO_JOB; traces.len()];
+        NodeSlabs { hosted, memory, traces, offsets }
     }
 
-    /// Local CPU utilization during window `w`.
-    pub fn cpu(&self, w: usize) -> f64 {
-        self.trace.sample(self.sample_index(w)).cpu
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.hosted.len()
     }
 
-    /// Recruited (idle) during window `w`?
-    pub fn is_idle(&self, w: usize) -> bool {
-        self.trace.is_idle(self.sample_index(w))
+    /// True for an empty cluster.
+    pub fn is_empty(&self) -> bool {
+        self.hosted.is_empty()
     }
 
-    /// Local memory demand during window `w` (KB).
-    pub fn mem_used(&self, w: usize) -> u32 {
-        self.trace.sample(self.sample_index(w)).mem_used_kb
+    /// The job hosted on (or reserved for) node `ni`, if any.
+    #[inline]
+    pub fn hosted(&self, ni: usize) -> Option<usize> {
+        let ji = self.hosted[ni];
+        (ji != NO_JOB).then_some(ji as usize)
+    }
+
+    /// Point node `ni` at job `ji` (or clear with `None`).
+    #[inline]
+    pub(crate) fn set_hosted(&mut self, ni: usize, ji: Option<usize>) {
+        self.hosted[ni] = ji.map_or(NO_JOB, |j| j as u32);
+    }
+
+    /// The memory pool of node `ni`.
+    pub fn memory(&self, ni: usize) -> &TwoPoolMemory {
+        &self.memory[ni]
+    }
+
+    /// Local CPU utilization of node `ni` during window `w` (trace slow
+    /// path).
+    pub fn cpu(&self, ni: usize, w: usize) -> f64 {
+        self.traces[ni].sample(self.offsets[ni] + w).cpu
+    }
+
+    /// Recruited (idle) during window `w`? (trace slow path)
+    pub fn is_idle(&self, ni: usize, w: usize) -> bool {
+        self.traces[ni].is_idle(self.offsets[ni] + w)
+    }
+
+    /// Local memory demand of node `ni` during window `w`, KB (trace slow
+    /// path).
+    pub fn mem_used(&self, ni: usize, w: usize) -> u32 {
+        self.traces[ni].sample(self.offsets[ni] + w).mem_used_kb
+    }
+}
+
+/// Cold per-job bookkeeping: fields touched on state transitions (a few
+/// per job per run), not by the per-window sweeps.
+#[derive(Debug, Clone)]
+pub struct JobCold {
+    /// Total CPU demand from the spec.
+    pub cpu_demand: SimDuration,
+    /// When the current non-idle episode began (while lingering/paused).
+    pub episode_start: Option<SimTime>,
+    /// Migration completes at this time (while migrating; with a shared
+    /// network this covers only the fixed processing part).
+    pub migration_until: Option<SimTime>,
+    /// Bits still to transfer (shared-network mode only).
+    pub migration_bits_left: Option<f64>,
+    /// PM grace period expires at this time (while paused).
+    pub pause_deadline: Option<SimTime>,
+    /// First time the job started executing (for the Variation metric).
+    pub first_start: Option<SimTime>,
+    /// Completion time.
+    pub completed_at: Option<SimTime>,
+    /// Whether the job has ever run (re-placements pay migration cost).
+    pub has_run: bool,
+    /// Number of migrations (including evictions) the job suffered.
+    pub migrations: u32,
+    /// Transfer attempts made for the migration currently in flight
+    /// (1 on the first attempt; reset when the job arrives or requeues).
+    pub migration_attempts: u32,
+    /// Lifetime count of transfer starts — the RNG key for in-transit
+    /// failure draws, unique per attempt across the job's whole life.
+    pub transfer_seq: u32,
+    /// Times a node crash killed this job (hosted or inbound).
+    pub crashes: u32,
+}
+
+/// Per-job state as parallel slabs keyed by job index.
+///
+/// The hot slabs are exactly what the window sweeps consult: lifecycle
+/// `state` and `remaining` for progress, `node` for occupancy checks,
+/// `mem_kb`/`arrival`/`id` for placement and telemetry, and the
+/// per-window `breakdown` accounting. Everything else lives in the
+/// [`JobCold`] slab.
+pub struct JobSlabs {
+    /// Lifecycle state.
+    pub(crate) state: Vec<JobState>,
+    /// Hosting (or receiving) node id; [`NO_NODE`] when off-node.
+    pub(crate) node: Vec<u32>,
+    /// CPU time still owed.
+    pub(crate) remaining: Vec<SimDuration>,
+    /// Working-set size from the spec, KB.
+    pub(crate) mem_kb: Vec<u32>,
+    /// Submission time from the spec.
+    pub(crate) arrival: Vec<SimTime>,
+    /// Job id from the spec.
+    pub(crate) id: Vec<JobId>,
+    /// Per-state time accounting (hot: one bucket add per busy node and
+    /// per queued job, every window).
+    pub(crate) breakdown: Vec<StateBreakdown>,
+    /// Everything the sweeps do not read.
+    pub(crate) cold: Vec<JobCold>,
+}
+
+impl JobSlabs {
+    /// Slabs seeded with one queued record per spec.
+    pub fn from_specs(specs: &[JobSpec]) -> Self {
+        let mut slabs = JobSlabs {
+            state: Vec::with_capacity(specs.len()),
+            node: Vec::with_capacity(specs.len()),
+            remaining: Vec::with_capacity(specs.len()),
+            mem_kb: Vec::with_capacity(specs.len()),
+            arrival: Vec::with_capacity(specs.len()),
+            id: Vec::with_capacity(specs.len()),
+            breakdown: Vec::with_capacity(specs.len()),
+            cold: Vec::with_capacity(specs.len()),
+        };
+        for spec in specs {
+            slabs.push(*spec);
+        }
+        slabs
+    }
+
+    /// Append a fresh queued job for `spec`; returns its index.
+    pub fn push(&mut self, spec: JobSpec) -> usize {
+        self.state.push(JobState::Queued);
+        self.node.push(NO_NODE);
+        self.remaining.push(spec.cpu_demand);
+        self.mem_kb.push(spec.mem_kb);
+        self.arrival.push(spec.arrival);
+        self.id.push(spec.id);
+        self.breakdown.push(StateBreakdown::default());
+        self.cold.push(JobCold {
+            cpu_demand: spec.cpu_demand,
+            episode_start: None,
+            migration_until: None,
+            migration_bits_left: None,
+            pause_deadline: None,
+            first_start: None,
+            completed_at: None,
+            has_run: false,
+            migrations: 0,
+            migration_attempts: 0,
+            transfer_seq: 0,
+            crashes: 0,
+        });
+        self.state.len() - 1
+    }
+
+    /// Number of jobs tracked.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when no job has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Reconstruct the static spec of job `ji`.
+    #[inline]
+    pub fn spec(&self, ji: usize) -> JobSpec {
+        JobSpec {
+            id: self.id[ji],
+            cpu_demand: self.cold[ji].cpu_demand,
+            mem_kb: self.mem_kb[ji],
+            arrival: self.arrival[ji],
+        }
+    }
+
+    /// The node hosting (or receiving) job `ji`, if any.
+    #[inline]
+    pub fn node(&self, ji: usize) -> Option<NodeId> {
+        let ni = self.node[ji];
+        (ni != NO_NODE).then_some(NodeId(ni as usize))
+    }
+
+    /// Materialize the full record of job `ji`.
+    pub fn record(&self, ji: usize) -> JobRecord {
+        let cold = &self.cold[ji];
+        JobRecord {
+            spec: self.spec(ji),
+            remaining: self.remaining[ji],
+            state: self.state[ji],
+            node: self.node(ji),
+            episode_start: cold.episode_start,
+            migration_until: cold.migration_until,
+            migration_bits_left: cold.migration_bits_left,
+            pause_deadline: cold.pause_deadline,
+            first_start: cold.first_start,
+            completed_at: cold.completed_at,
+            has_run: cold.has_run,
+            breakdown: self.breakdown[ji],
+            migrations: cold.migrations,
+            migration_attempts: cold.migration_attempts,
+            transfer_seq: cold.transfer_seq,
+            crashes: cold.crashes,
+        }
+    }
+
+    /// Materialize every job in index order.
+    pub fn records(&self) -> Vec<JobRecord> {
+        (0..self.len()).map(|ji| self.record(ji)).collect()
     }
 }
 
@@ -231,5 +457,19 @@ mod tests {
         assert_eq!(r.remaining, SimDuration::from_secs(600));
         assert_eq!(r.state, JobState::Queued);
         assert!(!r.has_run);
+    }
+
+    #[test]
+    fn slabs_materialize_the_record_a_fresh_job_would_have() {
+        let slabs = JobSlabs::from_specs(&[spec()]);
+        assert_eq!(slabs.len(), 1);
+        let got = slabs.record(0);
+        let fresh = JobRecord::new(spec());
+        assert_eq!(got.spec, fresh.spec);
+        assert_eq!(got.remaining, fresh.remaining);
+        assert_eq!(got.state, fresh.state);
+        assert_eq!(got.node, None);
+        assert_eq!(got.breakdown, fresh.breakdown);
+        assert!(!got.has_run);
     }
 }

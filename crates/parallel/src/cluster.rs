@@ -197,11 +197,12 @@ pub fn simulate_parallel_cluster_with_recorder(
         // One window-table row (or trace lookup) per node per window.
         idle.clear();
         if let Some(tbl) = real.window_table() {
-            for (n, c) in tbl.row(w).iter().enumerate() {
-                if c.idle {
+            cpu_w.copy_from_slice(tbl.cpu_row(w));
+            let idle_row = tbl.idle_row(w);
+            for n in 0..cfg.nodes {
+                if idle_row[n / 64] & (1u64 << (n % 64)) != 0 {
                     idle.insert(n);
                 }
-                cpu_w[n] = c.cpu;
             }
         } else {
             let (traces, offsets) = (real.traces(), real.offsets());

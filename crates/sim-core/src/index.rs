@@ -216,6 +216,36 @@ impl NodeIndex {
         None
     }
 
+    /// The raw level-0 bitset words. Bit `i % 64` of word `i / 64` is set
+    /// iff id `i` is present. Exposed read-only so callers holding a
+    /// parallel packed-bit array (e.g. a per-window idle mask) can combine
+    /// it with the set without materialising a second [`NodeIndex`].
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Replace the contents of `self` with `mask ∧ other`, where `mask`
+    /// is a packed level-0 bit array over the same id space. Rebuilds the
+    /// summary level and length in O(capacity / 64).
+    ///
+    /// # Panics
+    /// If the capacities differ or `mask` is shorter than the word array.
+    pub fn assign_and_words(&mut self, mask: &[u64], other: &NodeIndex) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        assert!(mask.len() >= self.words.len(), "mask too short");
+        self.summary.fill(0);
+        let mut len = 0usize;
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let combined = mask[w] & other.words[w];
+            *word = combined;
+            if combined != 0 {
+                self.summary[w / 64] |= 1u64 << (w % 64);
+                len += combined.count_ones() as usize;
+            }
+        }
+        self.len = len;
+    }
+
     /// Count ids present in both `self` and `other`.
     pub fn count_and(&self, other: &NodeIndex) -> usize {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
@@ -403,6 +433,26 @@ mod tests {
         assert_eq!(a.last_and(&b), naive.last().copied());
         let empty = NodeIndex::new(520);
         assert_eq!(a.last_and(&empty), None);
+    }
+
+    #[test]
+    fn assign_and_words_matches_manual_intersection() {
+        let mut free = NodeIndex::new(520);
+        for i in (0..520).step_by(3) {
+            free.insert(i);
+        }
+        let mut idle_words = vec![0u64; 520usize.div_ceil(64)];
+        for i in (0..520).step_by(5) {
+            idle_words[i / 64] |= 1u64 << (i % 64);
+        }
+        let mut out = NodeIndex::new(520);
+        out.insert(7); // stale content must be discarded
+        out.assign_and_words(&idle_words, &free);
+        let naive: Vec<usize> = (0..520).filter(|i| i % 15 == 0).collect();
+        assert_eq!(out.iter().collect::<Vec<_>>(), naive);
+        assert_eq!(out.len(), naive.len());
+        assert_eq!(out.first(), naive.first().copied());
+        assert_eq!(out.last(), naive.last().copied());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   simulators;
 //! * [`par_map_indexed`] — deterministic fan-out of independent
 //!   simulation units (replications, sweep points) across scoped worker
-//!   threads, with results in index order at any thread count.
+//!   threads, with results in index order at any thread count;
+//! * [`ShardPlan`] — word-aligned contiguous partitions of a node-id
+//!   space, letting one window sweep be advanced by cooperating shards
+//!   whose results merge back in index order.
 //!
 //! ## Example
 //!
@@ -47,16 +50,20 @@
 
 mod engine;
 mod fsio;
+mod hint;
 mod index;
 mod par;
 mod queue;
 mod rng;
+mod shard;
 mod time;
 
 pub use engine::{Context, Engine, RunOutcome, Simulation};
 pub use fsio::write_atomic;
+pub use hint::prefetch_read;
 pub use index::NodeIndex;
 pub use par::{default_jobs, par_map_indexed, set_default_jobs, try_par_map_indexed, CellPanic};
 pub use queue::{EventHandle, EventQueue};
+pub use shard::ShardPlan;
 pub use rng::{domains, replication_seed, RngFactory, SimRng, StreamId};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

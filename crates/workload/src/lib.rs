@@ -73,7 +73,7 @@ pub use dispatch::DispatchTrace;
 pub use fit_table::{BurstFitTable, FitPair};
 pub use generator::LocalWorkload;
 pub use library::{
-    RealizeOrigin, TraceCacheStats, TraceLibrary, WindowCell, WindowTable, WorkloadRealization,
+    RealizeOrigin, TraceCacheStats, TraceLibrary, WindowTable, WorkloadRealization,
 };
 pub use memory::{TwoPoolMemory, PAGE_KB};
 pub use paging::{Owner, PagingConfig, PagingSim, PagingStats};

@@ -31,34 +31,31 @@ use std::collections::{hash_map, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// One node's coarse resource state over one 2-second window.
+/// Window-major struct-of-arrays matrix of every node's `(cpu, mem,
+/// idle)` per window.
 ///
-/// A row of [`WindowTable`]: the trace sample and recruitment flag every
-/// cluster simulator reads for node `n` at window `w`, pre-gathered into
-/// a contiguous window-major matrix so the per-window loop walks one
-/// cache-friendly slice instead of chasing per-node trace pointers.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct WindowCell {
-    /// Owner CPU demand in `[0, 1]`.
-    pub cpu: f64,
-    /// Owner-resident memory in KB.
-    pub mem_kb: u32,
-    /// Whether the recruitment rule marks the node idle.
-    pub idle: bool,
-}
-
-/// Window-major matrix of every node's `(cpu, mem, idle)` per window.
+/// Each per-window row is stored as three parallel dense arrays rather
+/// than one array of 16-byte cells: the CPU sweep of the cluster
+/// simulators touches only the `f64` lane, the memory refresh only the
+/// `u32` lane, and the recruitment scan reads the idle flags 64 nodes at
+/// a time as packed bit words — so each pass streams the minimum number
+/// of cache lines for the field it actually consumes.
 ///
-/// Row `w` holds the cells of all nodes for window `w % period()`, in
-/// node order. Because every [`CoarseTrace`] lookup wraps modulo the
-/// trace length, row `w` equals the direct per-trace lookups at *any*
-/// `w`, not just `w < period()`: for traces of length `period`,
+/// Row `w` holds all nodes for window `w % period()`, in node order.
+/// Because every [`CoarseTrace`] lookup wraps modulo the trace length,
+/// row `w` equals the direct per-trace lookups at *any* `w`, not just
+/// `w < period()`: for traces of length `period`,
 /// `(offset + (w % period)) % period == (offset + w) % period`.
 #[derive(Debug, Clone)]
 pub struct WindowTable {
     period: usize,
     nodes: usize,
-    cells: Vec<WindowCell>,
+    /// One bit per (window, node): nodes per row padded to a whole number
+    /// of 64-bit words so rows start word-aligned.
+    words_per_row: usize,
+    cpu: Vec<f64>,
+    mem_kb: Vec<u32>,
+    idle: Vec<u64>,
 }
 
 impl WindowTable {
@@ -74,19 +71,22 @@ impl WindowTable {
             return None;
         }
         let nodes = traces.len();
-        let mut cells = Vec::with_capacity(period * nodes);
+        let words_per_row = nodes.div_ceil(64);
+        let mut cpu = Vec::with_capacity(period * nodes);
+        let mut mem_kb = Vec::with_capacity(period * nodes);
+        let mut idle = vec![0u64; period * words_per_row];
         for w in 0..period {
-            for (trace, &offset) in traces.iter().zip(offsets) {
+            for (n, (trace, &offset)) in traces.iter().zip(offsets).enumerate() {
                 let i = offset + w;
                 let s = trace.sample(i);
-                cells.push(WindowCell {
-                    cpu: s.cpu,
-                    mem_kb: s.mem_used_kb,
-                    idle: trace.is_idle(i),
-                });
+                cpu.push(s.cpu);
+                mem_kb.push(s.mem_used_kb);
+                if trace.is_idle(i) {
+                    idle[w * words_per_row + n / 64] |= 1u64 << (n % 64);
+                }
             }
         }
-        Some(WindowTable { period, nodes, cells })
+        Some(WindowTable { period, nodes, words_per_row, cpu, mem_kb, idle })
     }
 
     /// Number of windows before the table wraps (the shared trace length).
@@ -99,14 +99,37 @@ impl WindowTable {
         self.nodes
     }
 
-    /// The cells of all nodes for window `w` (wraps modulo the period).
-    pub fn row(&self, w: usize) -> &[WindowCell] {
+    /// `u64` words per idle row (`nodes` rounded up to a multiple of 64).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Owner CPU demand (in `[0, 1]`) of every node for window `w`
+    /// (wraps modulo the period).
+    pub fn cpu_row(&self, w: usize) -> &[f64] {
         let start = (w % self.period) * self.nodes;
-        &self.cells[start..start + self.nodes]
+        &self.cpu[start..start + self.nodes]
+    }
+
+    /// Owner-resident memory (KB) of every node for window `w` (wraps
+    /// modulo the period).
+    pub fn mem_row(&self, w: usize) -> &[u32] {
+        let start = (w % self.period) * self.nodes;
+        &self.mem_kb[start..start + self.nodes]
+    }
+
+    /// Recruitment idle flags for window `w` as packed bit words: bit
+    /// `n % 64` of word `n / 64` ⇔ node `n` is idle (wraps modulo the
+    /// period). Bits at or past `nodes()` are zero.
+    pub fn idle_row(&self, w: usize) -> &[u64] {
+        let start = (w % self.period) * self.words_per_row;
+        &self.idle[start..start + self.words_per_row]
     }
 
     fn approx_bytes(&self) -> usize {
-        self.cells.len() * std::mem::size_of::<WindowCell>()
+        self.cpu.len() * std::mem::size_of::<f64>()
+            + self.mem_kb.len() * std::mem::size_of::<u32>()
+            + self.idle.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -521,13 +544,22 @@ mod tests {
         assert_eq!(tbl.nodes(), 5);
         // Probe beyond the period to cover the wrap equivalence.
         for w in [0, 1, tbl.period() - 1, tbl.period(), 3 * tbl.period() + 2] {
-            let row = tbl.row(w);
-            for (n, cell) in row.iter().enumerate() {
+            let cpu = tbl.cpu_row(w);
+            let mem = tbl.mem_row(w);
+            let idle = tbl.idle_row(w);
+            assert_eq!(idle.len(), tbl.words_per_row());
+            for n in 0..tbl.nodes() {
                 let i = real.offsets()[n] + w;
                 let s = real.traces()[n].sample(i);
-                assert_eq!(cell.cpu.to_bits(), s.cpu.to_bits());
-                assert_eq!(cell.mem_kb, s.mem_used_kb);
-                assert_eq!(cell.idle, real.traces()[n].is_idle(i));
+                assert_eq!(cpu[n].to_bits(), s.cpu.to_bits());
+                assert_eq!(mem[n], s.mem_used_kb);
+                let bit = idle[n / 64] & (1u64 << (n % 64)) != 0;
+                assert_eq!(bit, real.traces()[n].is_idle(i));
+            }
+            // Padding bits past the node count stay clear.
+            let tail = tbl.nodes() % 64;
+            if tail != 0 {
+                assert_eq!(idle[tbl.nodes() / 64] >> tail, 0);
             }
         }
     }

@@ -154,6 +154,28 @@ impl TwoPoolMemory {
             "pools exceed physical memory"
         );
     }
+
+    /// [`set_local_kb`](Self::set_local_kb) specialised to a node with no
+    /// foreign job attached.
+    ///
+    /// With `foreign_demand_pages == 0` (hence `foreign_resident_pages ==
+    /// 0`), the growth branch reclaims nothing and counts no page-outs
+    /// (demand is clamped to `total_pages` first), and the shrink branch
+    /// regrows nothing — both reduce to the clamped store below. Also a
+    /// value-level no-op when the full path already ran for this window:
+    /// every `set_local_kb` ends with `local_pages == want`. The
+    /// per-window memory refresh exploits both properties to stream the
+    /// whole cluster's trace row branch-free, after busy nodes took the
+    /// full accounting path.
+    #[inline]
+    pub fn store_local_kb_unattached(&mut self, local_kb: u32) {
+        debug_assert!(
+            self.foreign_demand_pages == 0
+                || self.local_pages == (local_kb / PAGE_KB).min(self.total_pages),
+            "fast path requires no foreign job or an already-applied update"
+        );
+        self.local_pages = (local_kb / PAGE_KB).min(self.total_pages);
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +273,27 @@ mod tests {
             m.set_local_kb(kb);
             assert!(m.local_kb() + m.foreign_resident_kb() <= m.total_kb());
         }
+    }
+
+    #[test]
+    fn unattached_store_matches_full_update() {
+        let mut x = 48_271u64;
+        let mut full = mem();
+        let mut fast = mem();
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let kb = (x >> 33) as u32 % (80 * 1024);
+            full.set_local_kb(kb);
+            fast.store_local_kb_unattached(kb);
+            assert_eq!(full, fast);
+        }
+        // And re-storing after the full path ran is a no-op even with a
+        // foreign job attached.
+        full.attach_foreign(8 * 1024);
+        full.set_local_kb(40 * 1024);
+        let snapshot = full.clone();
+        full.store_local_kb_unattached(40 * 1024);
+        assert_eq!(full, snapshot);
     }
 
     #[test]
