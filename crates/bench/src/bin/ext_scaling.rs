@@ -1,53 +1,30 @@
-//! Extension: simulator scaling sweep — all four policies at 64–65,536
-//! nodes in constant-load throughput mode, with wall-clock per
+//! Extension: simulator scaling sweep — all four policies at 64 to
+//! 1,048,576 nodes in constant-load throughput mode, with wall-clock per
 //! node-window. The paper's evaluation stops at 64 workstations; this
 //! sweep shows the struct-of-arrays window loop holds its
-//! per-node-window cost out to the full building.
+//! per-node-window cost out to a million machines, switching to the
+//! memory-bounded streamed window pipeline once a monolithic table would
+//! blow the byte budget (`LINGER_WINDOW_BUDGET_BYTES`, default 4 GiB;
+//! `LINGER_WINDOW_CHUNK` forces chunked streaming at any size).
 //!
 //! Beyond the shared harness flags, `--max-nodes <n>` truncates the
 //! sweep (e.g. `--max-nodes 16384` for a CI smoke run that skips the
-//! 65,536-node cells).
+//! larger cells).
 
-use linger_bench::output::{banner, note_artifact, HarnessArgs, USAGE};
+use linger_bench::output::{banner, note_artifact, HarnessArgs};
 use linger_bench::{
-    ext_scaling_at, scaling_ns_per_node_window, write_json, Table, SCALING_NODE_COUNTS,
+    ext_scaling_at, peak_rss_kb, scaling_ns_per_node_window, write_json, Table,
+    SCALING_NODE_COUNTS,
 };
 
 fn main() {
-    // Extract the bin-local `--max-nodes` before the shared parser (which
-    // rejects flags it does not know) sees the argument list.
-    let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let mut max_nodes = usize::MAX;
-    while let Some(i) = raw.iter().position(|a| a == "--max-nodes") {
-        raw.remove(i);
-        if i >= raw.len() {
-            eprintln!("error: --max-nodes requires a value\n{USAGE}");
-            std::process::exit(2);
-        }
-        let v = raw.remove(i);
-        max_nodes = match v.parse() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!("error: --max-nodes requires an integer, got '{v}'\n{USAGE}");
-                std::process::exit(2);
-            }
-        };
-    }
-    let args = match HarnessArgs::try_parse(raw) {
-        Ok(args) => {
-            linger_sim_core::set_default_jobs(args.jobs);
-            args
-        }
-        Err(e) => {
-            eprintln!("error: {e}\n{USAGE}\n     --max-nodes <n>  truncate the node-count sweep");
-            std::process::exit(2);
-        }
-    };
+    let args = HarnessArgs::parse();
+    let max_nodes = args.max_nodes.unwrap_or(usize::MAX);
     let counts: Vec<usize> =
         SCALING_NODE_COUNTS.iter().copied().filter(|&n| n <= max_nodes).collect();
     banner(
         "Extension: scaling sweep",
-        "four policies, 64-65,536 nodes, cost per node-window",
+        "four policies, 64-1,048,576 nodes, cost per node-window",
     );
     let (points, timings) = ext_scaling_at(args.seed, &counts, args.fast);
     let mut t = Table::new(vec![
@@ -57,6 +34,7 @@ fn main() {
         "completed",
         "foreign cpu (s)",
         "setup (s)",
+        "chunk build (s)",
         "window loop (s)",
         "ns/node-window",
     ]);
@@ -68,6 +46,7 @@ fn main() {
             format!("{}", p.completed),
             format!("{:.0}", p.foreign_cpu_secs),
             format!("{:.3}", tm.setup_secs),
+            format!("{:.3}", tm.stream_build_secs),
             format!("{:.3}", tm.run_secs),
             format!("{:.1}", tm.ns_per_node_window),
         ]);
@@ -82,5 +61,8 @@ fn main() {
          ({:.2}x; flat means the window loop scales linearly in cluster size)",
         top / base.max(1e-12)
     );
+    if let Some(kb) = peak_rss_kb() {
+        println!("peak RSS: {} MiB", kb / 1024);
+    }
     note_artifact("ext_scaling", write_json("ext_scaling", &points));
 }

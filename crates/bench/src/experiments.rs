@@ -534,8 +534,12 @@ pub fn ext_parallel_throughput(
     linger_parallel::throughput_sweep(&base, loads)
 }
 
-/// Node counts the scaling extension sweeps.
-pub const SCALING_NODE_COUNTS: [usize; 6] = [64, 256, 1024, 4096, 16_384, 65_536];
+/// Node counts the scaling extension sweeps. The top counts stream
+/// their windows through the chunked pipeline (a monolithic table at
+/// 1,048,576 nodes would need ~52 GiB); `run_all` only runs past
+/// 65,536 in full mode.
+pub const SCALING_NODE_COUNTS: [usize; 8] =
+    [64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576];
 
 /// One deterministic cell of the scaling sweep. Every field is a pure
 /// function of `(seed, fast)`, so CI can byte-diff the JSON across
@@ -569,8 +573,16 @@ pub struct ScalingTiming {
     pub setup_secs: f64,
     /// Seconds inside the window loop — the **median** of the
     /// individually-timed replicates, robust against a scheduler blip
-    /// landing in one rep.
+    /// landing in one rep. When the cell streams its windows, chunk
+    /// construction is subtracted out (see [`Self::stream_build_secs`])
+    /// so this stays a pure sweep cost comparable across table and
+    /// streamed cells.
     pub run_secs: f64,
+    /// Mean seconds per replicate spent building window chunks inside
+    /// the run (the streamed pipeline synthesizes windows lazily ahead
+    /// of the sweep cursor). Zero for cells served by a monolithic
+    /// table, whose window synthesis lands in `setup_secs` instead.
+    pub stream_build_secs: f64,
     /// Identical runs timed independently (always ≥ 3; more for small
     /// cells, whose single run sits near clock granularity). Replicates
     /// share traces and produce byte-identical results; only the first
@@ -601,8 +613,12 @@ pub fn scaling_ns_per_node_window(timings: &[ScalingTiming], nodes: usize) -> f6
 /// The scaling extension: all four policies at the node counts in
 /// `node_counts`, in constant-load throughput mode, with wall-clock per
 /// node-window. The paper stops at 64 nodes; this sweep shows the
-/// indexed-node-state simulator holds its per-node-window cost out to
-/// thousands of workstations.
+/// indexed-node-state simulator holds its per-node-window cost out to a
+/// million workstations. Counts whose monolithic window table would
+/// exceed `LINGER_WINDOW_BUDGET_BYTES` (default 4 GiB) stream windows
+/// through the chunked pipeline instead; outcomes are byte-identical
+/// either way, and the chunk-build seconds are reported separately in
+/// [`ScalingTiming::stream_build_secs`].
 ///
 /// Cells run serially so the timings are uncontended; inside a cell the
 /// trace synthesis fans out deterministically. Traces, offsets, and the
@@ -639,11 +655,15 @@ pub fn ext_scaling_at(
             // Enough identical runs to keep each timed region well above
             // clock granularity (a 64-node cell alone finishes in ~2 ms),
             // and never fewer than three so the median below has
-            // something to reject an outlier against.
+            // something to reject an outlier against — except at the
+            // largest counts, where a single run is seconds long and
+            // holding several simulators at once would multiply the
+            // peak footprint the streamed pipeline exists to bound.
+            let min_reps = if nodes >= 262_144 { 1 } else { 3 };
             let reps = ((256.0 * 1024.0 / (nodes as f64 * expected_windows)).ceil()
                 as u32)
                 .clamp(1, 16)
-                .max(3);
+                .max(min_reps);
             let mut sims: Vec<linger_cluster::ClusterSim> = (0..reps)
                 .map(|_| {
                     let family = JobFamily::uniform(
@@ -661,13 +681,21 @@ pub fn ext_scaling_at(
                 .collect();
             let setup_secs = shared_setup + t1.elapsed().as_secs_f64();
             // Time each replicate independently and keep the median, so
-            // one preempted rep cannot drag the reported cost.
+            // one preempted rep cannot drag the reported cost. Streamed
+            // cells build window chunks lazily *inside* run(); that
+            // build time is workload synthesis, not sweep cost, so it
+            // is measured via the simulator's own accounting and
+            // subtracted from the rep's wall-clock.
+            let mut build_total = 0.0;
             let mut rep_secs: Vec<f64> = sims
                 .iter_mut()
                 .map(|sim| {
+                    let b0 = sim.stream_build_secs();
                     let t2 = std::time::Instant::now();
                     sim.run();
-                    t2.elapsed().as_secs_f64()
+                    let built = sim.stream_build_secs() - b0;
+                    build_total += built;
+                    (t2.elapsed().as_secs_f64() - built).max(0.0)
                 })
                 .collect();
             rep_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -694,6 +722,7 @@ pub fn ext_scaling_at(
                 policy: policy.abbrev().to_string(),
                 setup_secs,
                 run_secs,
+                stream_build_secs: build_total / reps as f64,
                 timing_reps: reps,
                 node_windows,
                 ns_per_node_window: run_secs * 1e9 / node_windows.max(1.0),

@@ -89,9 +89,10 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
 ///
 /// Supported: `--seed <n>` (default 1998), `--fast` (scaled-down run for
 /// smoke testing), `--reps <n>` (replications with confidence intervals,
-/// where the binary supports it), and `--jobs <n>` (worker threads for
-/// the deterministic parallel runner; 0 = one per core; output is
-/// byte-identical at any value).
+/// where the binary supports it), `--jobs <n>` (worker threads for the
+/// deterministic parallel runner; 0 = one per core; output is
+/// byte-identical at any value), and `--max-nodes <n>` (truncate a
+/// node-count sweep, where the binary supports it).
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessArgs {
     /// Master seed.
@@ -102,6 +103,8 @@ pub struct HarnessArgs {
     pub reps: u32,
     /// Worker threads (0 = one per core).
     pub jobs: usize,
+    /// Upper bound on a node-count sweep (`None` = run every count).
+    pub max_nodes: Option<usize>,
 }
 
 /// Why the harness CLI arguments failed to parse.
@@ -135,11 +138,13 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// One-line usage string shared by every figure binary.
-pub const USAGE: &str = "usage: [--seed <n>] [--reps <n>] [--jobs <n>] [--fast]\n\
-     --seed <n>  master seed (default 1998)\n\
-     --reps <n>  replications where supported (default 1)\n\
-     --jobs <n>  worker threads, 0 = one per core (default 0)\n\
-     --fast      scaled-down smoke run";
+pub const USAGE: &str =
+    "usage: [--seed <n>] [--reps <n>] [--jobs <n>] [--max-nodes <n>] [--fast]\n\
+     --seed <n>       master seed (default 1998)\n\
+     --reps <n>       replications where supported (default 1)\n\
+     --jobs <n>       worker threads, 0 = one per core (default 0)\n\
+     --max-nodes <n>  truncate a node-count sweep where supported\n\
+     --fast           scaled-down smoke run";
 
 impl HarnessArgs {
     /// Parse from `std::env::args` and apply `--jobs` process-wide. On a
@@ -172,13 +177,18 @@ impl HarnessArgs {
         fn int<T: std::str::FromStr>(flag: &'static str, v: String) -> Result<T, ArgError> {
             v.parse().map_err(|_| ArgError::InvalidValue { flag, value: v })
         }
-        let mut parsed = HarnessArgs { seed: 1998, fast: false, reps: 1, jobs: 0 };
+        let mut parsed =
+            HarnessArgs { seed: 1998, fast: false, reps: 1, jobs: 0, max_nodes: None };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--seed" => parsed.seed = int("--seed", value(&mut args, "--seed")?)?,
                 "--reps" => parsed.reps = int("--reps", value(&mut args, "--reps")?)?,
                 "--jobs" => parsed.jobs = int("--jobs", value(&mut args, "--jobs")?)?,
+                "--max-nodes" => {
+                    parsed.max_nodes =
+                        Some(int("--max-nodes", value(&mut args, "--max-nodes")?)?)
+                }
                 "--fast" => parsed.fast = true,
                 other => return Err(ArgError::Unknown(other.to_string())),
             }
@@ -236,19 +246,42 @@ mod tests {
 
     #[test]
     fn try_parse_accepts_all_flags() {
-        let a =
-            HarnessArgs::try_parse(sv(&["--seed", "7", "--fast", "--reps", "3", "--jobs", "4"]))
-                .unwrap();
+        let a = HarnessArgs::try_parse(sv(&[
+            "--seed",
+            "7",
+            "--fast",
+            "--reps",
+            "3",
+            "--jobs",
+            "4",
+            "--max-nodes",
+            "16384",
+        ]))
+        .unwrap();
         assert_eq!(a.seed, 7);
         assert!(a.fast);
         assert_eq!(a.reps, 3);
         assert_eq!(a.jobs, 4);
+        assert_eq!(a.max_nodes, Some(16384));
     }
 
     #[test]
     fn try_parse_defaults() {
         let a = HarnessArgs::try_parse(sv(&[])).unwrap();
         assert_eq!((a.seed, a.fast, a.reps, a.jobs), (1998, false, 1, 0));
+        assert_eq!(a.max_nodes, None);
+    }
+
+    #[test]
+    fn try_parse_rejects_bad_max_nodes() {
+        assert_eq!(
+            HarnessArgs::try_parse(sv(&["--max-nodes"])).unwrap_err(),
+            ArgError::MissingValue("--max-nodes")
+        );
+        assert_eq!(
+            HarnessArgs::try_parse(sv(&["--max-nodes", "lots"])).unwrap_err(),
+            ArgError::InvalidValue { flag: "--max-nodes", value: "lots".into() }
+        );
     }
 
     #[test]

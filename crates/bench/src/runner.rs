@@ -133,6 +133,17 @@ impl std::fmt::Display for CellError {
 
 impl std::error::Error for CellError {}
 
+/// Peak resident set size of this process in KiB, read from
+/// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs or
+/// when the field is missing — callers treat that as "unknown", never as
+/// zero. The high-water mark is process-wide and monotonic, so it bounds
+/// every phase that ran before the call.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Wall-clock timing of one named section (one figure in `run_all`).
 #[derive(Debug, Clone, Serialize)]
 pub struct SectionTiming {
@@ -180,6 +191,9 @@ pub struct RunTimings {
     /// Individual sweep cells that panicked (recorded via
     /// [`RunTimings::record_cell_errors`]) while their sweep completed.
     pub failed_cells: Vec<FailedCell>,
+    /// Peak resident set size of the whole run, KiB ([`peak_rss_kb`];
+    /// `None` where procfs is unavailable).
+    pub peak_rss_kb: Option<u64>,
     /// Total wall-clock seconds.
     pub total_secs: f64,
 }

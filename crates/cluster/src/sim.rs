@@ -39,8 +39,8 @@ use linger_sim_core::{
 };
 use linger_telemetry::{DecisionAction, Event, EventKind, JournalCounts, Recorder};
 use linger_workload::{
-    CoarseTrace, RealizeOrigin, TraceLibrary, TwoPoolMemory, WindowTable, WorkloadRealization,
-    SAMPLE_PERIOD_SECS,
+    CoarseTrace, RealizeOrigin, TraceLibrary, TwoPoolMemory, WindowCursor, WindowTable,
+    WorkloadRealization, SAMPLE_PERIOD_SECS,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -126,6 +126,21 @@ enum ProgressKind {
     Complete,
 }
 
+/// Where the per-window `(cpu, idle, mem)` rows of phase 0 come from.
+/// Purely an execution choice — all three sources produce identical
+/// rows for the same realization (`stream::tests` and the cluster
+/// streaming suite prove it bit-for-bit).
+enum WindowSource {
+    /// Fully materialized window-major table, `Arc`-shared with every
+    /// other simulator over the same realization.
+    Table(Arc<WindowTable>),
+    /// Memory-bounded chunked cursor over resumable per-node trace
+    /// streams; chunks are built lazily just ahead of the sweep.
+    Streamed(Box<WindowCursor>),
+    /// Mixed-period traces: per-node trace lookups every window.
+    TraceOnly,
+}
+
 /// The cluster simulation.
 pub struct ClusterSim {
     cfg: ClusterConfig,
@@ -167,10 +182,14 @@ pub struct ClusterSim {
     /// transfer progress and arrivals never rescan the ever-growing job
     /// table (throughput mode appends a record per respawn).
     migrating: Vec<usize>,
-    /// Window-major `(cpu, idle, mem)` table, shared with every other
-    /// simulator over the same realization; `None` when the traces have
-    /// unequal periods.
-    window_table: Option<Arc<WindowTable>>,
+    /// Per-window row source: shared table, streamed chunks, or raw
+    /// per-node traces (mixed periods).
+    windows: WindowSource,
+    /// Window index at which each job last entered the central queue
+    /// (parallel to the job slabs; 0 for the initial population). Queue
+    /// time is accrued in one exact multiply at dequeue instead of one
+    /// add per queued job per window — see [`Self::place_queued`].
+    queued_from: Vec<u32>,
     /// Word-aligned partition of the node-id space driving the
     /// classify phase of every sweep.
     plan: ShardPlan,
@@ -229,12 +248,28 @@ impl ClusterSim {
     /// If the realization's node count differs from `cfg.nodes`.
     pub fn with_realization(cfg: ClusterConfig, real: &WorkloadRealization) -> Self {
         assert_eq!(real.nodes(), cfg.nodes, "realization must cover cfg.nodes");
-        Self::assemble(
-            cfg,
+        if real.stream_spec().is_some() {
+            // Streamed realization: no per-node traces exist. Node state
+            // comes from the chunk rows; initial memory demand is the
+            // window-0 row (by construction the same bytes a monolithic
+            // table's `mem_row(0)` would hold).
+            let mut cursor = real.cursor().expect("streamed realization has a cursor");
+            let slabs = {
+                let chunk = cursor.ensure(0);
+                NodeSlabs::traceless(chunk.mem_row(0), cfg.node_memory_kb)
+            };
+            return Self::assemble(cfg, slabs, WindowSource::Streamed(Box::new(cursor)));
+        }
+        let slabs = NodeSlabs::new(
             real.traces().to_vec(),
             real.offsets().to_vec(),
-            real.window_table().cloned(),
-        )
+            cfg.node_memory_kb,
+        );
+        let source = match real.window_table().cloned() {
+            Some(tbl) => WindowSource::Table(tbl),
+            None => WindowSource::TraceOnly,
+        };
+        Self::assemble(cfg, slabs, source)
     }
 
     /// Build the simulation over explicit per-node traces and start
@@ -247,21 +282,21 @@ impl ClusterSim {
         traces: Vec<Arc<CoarseTrace>>,
         offsets: Vec<usize>,
     ) -> Self {
-        let window_table = WindowTable::build(&traces, &offsets).map(Arc::new);
-        Self::assemble(cfg, traces, offsets, window_table)
-    }
-
-    fn assemble(
-        cfg: ClusterConfig,
-        traces: Vec<Arc<CoarseTrace>>,
-        offsets: Vec<usize>,
-        window_table: Option<Arc<WindowTable>>,
-    ) -> Self {
         assert_eq!(traces.len(), cfg.nodes, "one trace per node");
         assert_eq!(offsets.len(), cfg.nodes, "one offset per node");
-        let nodes = NodeSlabs::new(traces, offsets, cfg.node_memory_kb);
+        let source = match WindowTable::build(&traces, &offsets).map(Arc::new) {
+            Some(tbl) => WindowSource::Table(tbl),
+            None => WindowSource::TraceOnly,
+        };
+        let slabs = NodeSlabs::new(traces, offsets, cfg.node_memory_kb);
+        Self::assemble(cfg, slabs, source)
+    }
+
+    fn assemble(cfg: ClusterConfig, nodes: NodeSlabs, windows: WindowSource) -> Self {
+        assert_eq!(nodes.len(), cfg.nodes, "one node slab entry per node");
         let jobs = JobSlabs::from_specs(cfg.family.jobs());
         let queue = (0..jobs.len()).collect();
+        let queued_from = vec![0; jobs.len()];
         let next_job_id = jobs.len() as u32;
         let n = cfg.nodes;
         // The fault schedule spans the run's hard horizon; events are a
@@ -301,7 +336,8 @@ impl ClusterSim {
             cpu_w: vec![0.0; n],
             place_scratch: VecDeque::new(),
             migrating: Vec::new(),
-            window_table,
+            windows,
+            queued_from,
             plan,
             decide_bufs: vec![Vec::new(); shard_count],
             progress_bufs: vec![Vec::new(); shard_count],
@@ -383,7 +419,21 @@ impl ClusterSim {
 
     /// Materialized job records in index order (inspect after a run).
     pub fn jobs(&self) -> Vec<JobRecord> {
-        self.jobs.records()
+        let mut records = self.jobs.records();
+        // Queue time accrues lazily (one multiply at dequeue); jobs still
+        // on the queue carry an unflushed span — patch it in here so the
+        // materialized breakdowns match the historic per-window walk at
+        // any point of the run.
+        for (ji, rec) in records.iter_mut().enumerate() {
+            if rec.state == JobState::Queued {
+                let from = self.queued_from[ji].max(self.arrival_window(ji));
+                let w = self.window as u32;
+                if w > from {
+                    rec.breakdown.queued += Self::window_span(w - from);
+                }
+            }
+        }
+        records
     }
 
     /// Total foreign CPU delivered so far.
@@ -410,6 +460,34 @@ impl ClusterSim {
     /// `cfg.faults` is disabled).
     pub fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    /// Wall-clock seconds spent building streamed window chunks so far
+    /// (0 for table-backed and trace-only realizations). Chunk builds
+    /// are deferred synthesis, so harnesses attribute this to setup and
+    /// subtract it from the sweep's run time.
+    pub fn stream_build_secs(&self) -> f64 {
+        match &self.windows {
+            WindowSource::Streamed(cursor) => cursor.build_secs(),
+            _ => 0.0,
+        }
+    }
+
+    /// Number of window chunks built so far (0 unless streamed).
+    pub fn stream_chunks_built(&self) -> u64 {
+        match &self.windows {
+            WindowSource::Streamed(cursor) => cursor.chunks_built(),
+            _ => 0,
+        }
+    }
+
+    /// Resident bytes of the streamed window arena — chunk plus per-node
+    /// stream states and scratch (0 unless streamed).
+    pub fn stream_arena_bytes(&self) -> usize {
+        match &self.windows {
+            WindowSource::Streamed(cursor) => cursor.approx_bytes(),
+            _ => 0,
+        }
     }
 
     /// Recruitment idle flag of node `ni` at the current window.
@@ -575,30 +653,40 @@ impl ClusterSim {
         self.classify_progress();
         self.apply_progress(t);
 
-        // 5. Placement of queued jobs.
+        // 5. Placement of queued jobs. Queue time is no longer accrued
+        //    by a per-window queue walk: each job's accrual is an exact
+        //    integer-nanosecond multiple of `WINDOW`, so it is applied
+        //    in one multiply when the job leaves the queue (and patched
+        //    for still-queued jobs in `jobs()`), replacing the historic
+        //    phase 6 with identical bytes and zero per-window cost.
         self.place_queued(t);
 
-        // 6. Queue-time accounting. After placement, `self.queue` holds
-        //    exactly the jobs in `JobState::Queued` (everything else on
-        //    it was placed or deferred by arrival time), so walking it
-        //    touches the same records the old full job-table scan did —
-        //    without visiting every completed job of the run. A job in
-        //    `Migrating` always has a reserved destination (both
-        //    migration starts set one), so the old scan's off-node
-        //    migration arm never fired.
-        // Queue time starts at submission, not at simulation start.
-        for qi in 0..self.queue.len() {
-            if let Some(&ahead) = self.queue.get(qi + 8) {
-                prefetch_read(&self.jobs.breakdown[ahead]);
-            }
-            let ji = self.queue[qi];
-            debug_assert_eq!(self.jobs.state[ji], JobState::Queued);
-            if t >= self.jobs.arrival[ji] {
-                self.jobs.breakdown[ji].add(JobState::Queued, WINDOW);
-            }
-        }
-
         self.window += 1;
+    }
+
+    /// First window index at which a queued job accrues queue time: the
+    /// first window whose start time is at or past its submission.
+    /// (The historic per-window walk accrued under `t >= arrival`.)
+    fn arrival_window(&self, ji: usize) -> u32 {
+        self.jobs.arrival[ji].as_nanos().div_ceil(WINDOW.as_nanos()) as u32
+    }
+
+    /// Exactly `count` windows of time — integer nanoseconds, equal to
+    /// `count` repeated `WINDOW` additions.
+    fn window_span(count: u32) -> SimDuration {
+        SimDuration::from_nanos(WINDOW.as_nanos() * count as u64)
+    }
+
+    /// Credit job `ji`'s queued time for the span it just spent on the
+    /// queue: every window from `max(entry, arrival)` up to (not
+    /// including) the current one — the exact set of windows the historic
+    /// phase-6 walk visited it in.
+    fn flush_queue_time(&mut self, ji: usize) {
+        let from = self.queued_from[ji].max(self.arrival_window(ji));
+        let w = self.window as u32;
+        if w > from {
+            self.jobs.breakdown[ji].queued += Self::window_span(w - from);
+        }
     }
 
     /// Phase 0: refresh the per-window scratch (cpu lane, idle words,
@@ -611,10 +699,20 @@ impl ClusterSim {
     /// just updated, and exactly equivalent to the full path on nodes
     /// with no foreign job attached.
     fn refresh_window(&mut self, w: usize) {
-        if let Some(tbl) = &self.window_table {
-            let cpu_row = tbl.cpu_row(w);
-            let mem_row = tbl.mem_row(w);
-            let idle_row = tbl.idle_row(w);
+        if let WindowSource::Streamed(cursor) = &mut self.windows {
+            // Build (or reuse) the chunk covering `w` before any row
+            // borrow is taken; `ensure` recycles the arena in place.
+            cursor.ensure(w);
+        }
+        let rows = match &self.windows {
+            WindowSource::Table(tbl) => Some((tbl.cpu_row(w), tbl.mem_row(w), tbl.idle_row(w))),
+            WindowSource::Streamed(cursor) => {
+                let chunk = cursor.chunk();
+                Some((chunk.cpu_row(w), chunk.mem_row(w), chunk.idle_row(w)))
+            }
+            WindowSource::TraceOnly => None,
+        };
+        if let Some((cpu_row, mem_row, idle_row)) = rows {
             let plan = &self.plan;
             let busy_words = self.busy.words();
             let cpu_parts = plan.split_mut(&mut self.cpu_w);
@@ -944,6 +1042,7 @@ impl ClusterSim {
         cold.migration_until = None;
         cold.migration_bits_left = None;
         cold.migration_attempts = 0;
+        self.queued_from[ji] = self.window as u32;
         self.queue.push_back(ji);
         self.telemetry.record(|| {
             self.event_at(t, EventKind::QueueEnter).for_job(self.jobs.id[ji].0)
@@ -1144,6 +1243,8 @@ impl ClusterSim {
             };
             self.next_job_id += 1;
             let new_ji = self.jobs.push(spec);
+            self.queued_from.push(self.window as u32);
+            debug_assert_eq!(self.queued_from.len(), self.jobs.len());
             self.queue.push_back(new_ji);
         }
     }
@@ -1191,6 +1292,13 @@ impl ClusterSim {
     /// may fall back to the least-loaded non-idle node (Sec 4.2: LL "can
     /// run jobs on any semi-available node").
     fn place_queued(&mut self, t: SimTime) {
+        // A saturated cluster (every node claimed or crashed) cannot
+        // place anything: the pass below would pop each job and push it
+        // back unchanged. Skip it — queue order, lazy queue-time spans,
+        // and all indexes are untouched, so the bytes are identical.
+        if self.free.is_empty() {
+            return;
+        }
         let mut unplaced = std::mem::take(&mut self.place_scratch);
         unplaced.clear();
         // Destination indexes for this pass, built lazily on first use:
@@ -1253,6 +1361,7 @@ impl ClusterSim {
             match target {
                 None => unplaced.push_back(ji),
                 Some(dest) => {
+                    self.flush_queue_time(ji);
                     self.claim_node(dest, ji);
                     self.telemetry.record(|| {
                         self.event_at(t, EventKind::Decision {

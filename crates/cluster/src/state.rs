@@ -204,6 +204,24 @@ impl NodeSlabs {
         NodeSlabs { hosted, memory, traces, offsets }
     }
 
+    /// Assemble the slabs without resident traces — the streamed window
+    /// pipeline supplies all per-window node state through its chunk
+    /// cursor instead. `initial_mem_kb` is the chunk's window-0 memory
+    /// row, which by construction equals `trace.sample(offset).mem_used_kb`
+    /// (so both constructors initialise the pools identically).
+    ///
+    /// The trace slow-path accessors ([`NodeSlabs::cpu`] etc.) must not
+    /// be called on a traceless slab; the simulator only uses them when
+    /// it has no window source, and a streamed realization always is one.
+    pub fn traceless(initial_mem_kb: &[u32], node_memory_kb: u32) -> Self {
+        let memory = initial_mem_kb
+            .iter()
+            .map(|&kb| TwoPoolMemory::new(node_memory_kb, kb))
+            .collect();
+        let hosted = vec![NO_JOB; initial_mem_kb.len()];
+        NodeSlabs { hosted, memory, traces: Vec::new(), offsets: Vec::new() }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.hosted.len()

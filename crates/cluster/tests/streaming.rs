@@ -1,0 +1,101 @@
+//! Streamed-window equivalence: the chunked window pipeline is an
+//! execution knob, never a semantic one. A simulation fed by a
+//! `WindowCursor` at any chunk size, on any worker width and shard
+//! count, with fault injection active and telemetry journaling, must
+//! reproduce the monolithic-table run exactly — job for job, counter
+//! for counter, event for event.
+
+use linger::{JobFamily, Policy};
+use linger_cluster::{ClusterConfig, ClusterSim, FaultConfig};
+use linger_sim_core::{set_default_jobs, SimDuration};
+use linger_telemetry::Recorder;
+use linger_workload::WorkloadRealization;
+use proptest::prelude::*;
+
+fn config(
+    policy: Policy,
+    nodes: usize,
+    jobs: u32,
+    demand_s: u64,
+    seed: u64,
+    crash_rate: f64,
+    fail_prob: f64,
+) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper(
+        policy,
+        JobFamily::uniform(jobs, SimDuration::from_secs(demand_s), 8 * 1024),
+    );
+    cfg.nodes = nodes;
+    cfg.trace.duration = SimDuration::from_secs(3600);
+    cfg.seed = seed;
+    cfg.faults = FaultConfig {
+        crash_rate_per_hour: crash_rate,
+        mean_reboot_secs: 120.0,
+        migration_failure_prob: fail_prob,
+    };
+    cfg
+}
+
+/// The run's complete observable outcome as one string: every job
+/// record, the throughput/delay accumulators at full f64 bit precision,
+/// the fault counters, and the serialized telemetry journal.
+fn run_signature(cfg: ClusterConfig, real: &WorkloadRealization, shards: usize, width: usize) -> String {
+    set_default_jobs(width);
+    let mut sim = ClusterSim::with_realization(cfg, real);
+    sim.set_shards(shards);
+    // Force the scoped-thread path even on these small clusters, so
+    // width > 1 actually exercises it.
+    sim.set_shard_threading_min(1);
+    sim.set_recorder(Recorder::with_capacity(1 << 16));
+    sim.run();
+    let events = sim
+        .recorder()
+        .journal()
+        .map(|j| serde_json::to_string(&j.snapshot()).unwrap())
+        .unwrap_or_default();
+    format!(
+        "{:?}|{}|{}|{:?}|{}",
+        sim.jobs(),
+        sim.foreign_cpu_delivered().as_nanos(),
+        sim.foreground_delay_ratio().to_bits(),
+        sim.fault_stats(),
+        events,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn any_chunk_size_width_and_shards_reproduce_the_monolithic_run(
+        policy_idx in 0usize..4,
+        nodes in 8usize..32,
+        jobs in 4u32..16,
+        demand_s in 60u64..240,
+        seed in 0u64..10_000,
+        crash_rate in 0.5f64..20.0,
+        fail_prob in 0.05f64..0.5,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let cfg = config(policy, nodes, jobs, demand_s, seed, crash_rate, fail_prob);
+        let period = cfg.trace.sample_count();
+        let mono = WorkloadRealization::synthesize_monolithic(&cfg.trace, seed, nodes);
+        let baseline = run_signature(cfg.clone(), &mono, 1, 1);
+        for chunk in [1usize, 7, 64, period] {
+            let streamed =
+                WorkloadRealization::synthesize_streamed(&cfg.trace, seed, nodes, chunk);
+            prop_assert!(streamed.stream_spec().is_some());
+            for shards in [1usize, 4] {
+                for width in [1usize, 4] {
+                    let got = run_signature(cfg.clone(), &streamed, shards, width);
+                    prop_assert_eq!(
+                        &baseline, &got,
+                        "{} diverged at chunk={} shards={} width={}",
+                        policy, chunk, shards, width
+                    );
+                }
+            }
+        }
+        set_default_jobs(0);
+    }
+}

@@ -17,7 +17,7 @@
 //!   ≈95% of the time, with no significant idle/non-idle difference
 //!   (Fig 4).
 
-use linger_sim_core::{domains, RngFactory, SimDuration, SimRng};
+use linger_sim_core::{domains, par_map_indexed, RngFactory, SimDuration, SimRng};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -167,84 +167,172 @@ enum UserState {
     Away,
 }
 
-impl CoarseTraceConfig {
-    /// Synthesize the trace of machine `machine_id` deterministically from
-    /// `factory`'s master seed.
-    pub fn synthesize(&self, factory: &RngFactory, machine_id: u64) -> CoarseTrace {
+/// A resumable, allocation-free generator over one machine's synthetic
+/// trace.
+///
+/// Yields exactly the `(sample, idle)` sequence that
+/// [`CoarseTraceConfig::synthesize`] would record for the same
+/// `(factory, machine_id)` — `synthesize` is itself implemented on top of
+/// this type, so the batch and streamed paths cannot drift. The stream
+/// holds only O(1) state (two RNGs plus the generator's scalar state),
+/// which is what lets the chunked window pipeline realize million-node
+/// workloads without ever materializing whole traces.
+///
+/// The idle flag is the recruitment rule of [`CoarseTrace::from_samples`]
+/// applied online: a sample is idle iff the preceding minute (inclusive)
+/// was quiet. Streams always start at sample 0; to begin replay at a
+/// later offset, [`TraceStream::skip`] past it (the flags depend on the
+/// quiet streak, so there is no shortcut).
+#[derive(Clone)]
+pub struct TraceStream {
+    cfg: CoarseTraceConfig,
+    rng: SimRng,
+    mem_rng: SimRng,
+    state: UserState,
+    remaining: f64,
+    cpu_level: f64,
+    os_base_kb: f64,
+    working_set_kb: f64,
+    session_target_kb: f64,
+    quiet_streak: u32,
+    next: usize,
+}
+
+impl TraceStream {
+    /// Position the stream at sample 0 of `machine_id`'s trace.
+    pub fn new(cfg: &CoarseTraceConfig, factory: &RngFactory, machine_id: u64) -> Self {
         let mut rng = factory.stream_for(domains::COARSE_TRACE, machine_id);
         let mut mem_rng = factory.stream_for(domains::MEMORY, machine_id);
-        let n = (self.duration.as_secs_f64() / SAMPLE_PERIOD_SECS as f64).ceil() as usize;
-
-        let mut samples = Vec::with_capacity(n);
-        let mut state = if rng.random::<f64>() < self.active_fraction() {
+        let state = if rng.random::<f64>() < cfg.active_fraction() {
             UserState::Active
         } else {
             UserState::Away
         };
-        let mut remaining = self.draw_episode(&mut rng, state, 0.0);
-        let mut cpu_level = 0.02f64;
+        let remaining = cfg.draw_episode(&mut rng, state, 0.0);
 
         // Memory: per-machine OS base plus a session working set that
         // mean-reverts toward a per-session target while active and decays
         // while away. Calibrated against the Fig 4 anchors (≥14 MB free at
         // P90 on 64 MB machines).
         let os_base_kb = 16_000.0 + mem_rng.random::<f64>() * 6_000.0;
-        let mut working_set_kb = 6_000.0 + mem_rng.random::<f64>() * 8_000.0;
-        let mut session_target_kb = 10_000.0 + mem_rng.random::<f64>() * 18_000.0;
+        let working_set_kb = 6_000.0 + mem_rng.random::<f64>() * 8_000.0;
+        let session_target_kb = 10_000.0 + mem_rng.random::<f64>() * 18_000.0;
 
-        for i in 0..n {
-            let t_secs = i as f64 * SAMPLE_PERIOD_SECS as f64;
-            if remaining <= 0.0 {
-                state = match state {
-                    UserState::Active => UserState::Away,
-                    UserState::Away => UserState::Active,
-                };
-                remaining = self.draw_episode(&mut rng, state, t_secs);
-                if state == UserState::Active {
-                    // Each session brings its own memory footprint.
-                    session_target_kb = 10_000.0 + mem_rng.random::<f64>() * 18_000.0;
-                }
-            }
-            remaining -= SAMPLE_PERIOD_SECS as f64;
-
-            // CPU: sticky mixture.
-            if rng.random::<f64>() >= self.cpu_persistence {
-                cpu_level = self.draw_cpu(&mut rng, state);
-            }
-            let jitter = 1.0 + 0.15 * (rng.random::<f64>() - 0.5);
-            let cpu = (cpu_level * jitter).clamp(0.0, 1.0);
-
-            let keyboard =
-                state == UserState::Active && rng.random::<f64>() < self.keyboard_prob;
-
-            // Memory walk: mean-revert toward the session target (active)
-            // or toward a small residual footprint (away).
-            match state {
-                UserState::Active => {
-                    working_set_kb += (session_target_kb - working_set_kb) * 0.02
-                        + (mem_rng.random::<f64>() - 0.5) * 900.0;
-                }
-                UserState::Away => {
-                    // Memory drains only slowly when the user steps away
-                    // (editors and builds stay resident) — the paper finds
-                    // "no significant difference in the available memory
-                    // between idle and non-idle states".
-                    working_set_kb += (9_000.0 - working_set_kb) * 0.0008
-                        + (mem_rng.random::<f64>() - 0.5) * 250.0;
-                }
-            }
-            working_set_kb = working_set_kb.clamp(2_000.0, 36_000.0);
-            let mem_used_kb =
-                ((os_base_kb + working_set_kb) as u32).min(TOTAL_MEMORY_KB);
-
-            samples.push(CoarseSample { cpu, mem_used_kb, keyboard });
+        TraceStream {
+            cfg: cfg.clone(),
+            rng,
+            mem_rng,
+            state,
+            remaining,
+            cpu_level: 0.02,
+            os_base_kb,
+            working_set_kb,
+            session_target_kb,
+            quiet_streak: 0,
+            next: 0,
         }
-        CoarseTrace::from_samples(samples)
+    }
+
+    /// Index of the sample the next [`TraceStream::next_sample`] call
+    /// will produce.
+    pub fn index(&self) -> usize {
+        self.next
+    }
+
+    /// Generate the next sample and its recruitment (idle) flag.
+    pub fn next_sample(&mut self) -> (CoarseSample, bool) {
+        let t_secs = self.next as f64 * SAMPLE_PERIOD_SECS as f64;
+        if self.remaining <= 0.0 {
+            self.state = match self.state {
+                UserState::Active => UserState::Away,
+                UserState::Away => UserState::Active,
+            };
+            self.remaining = self.cfg.draw_episode(&mut self.rng, self.state, t_secs);
+            if self.state == UserState::Active {
+                // Each session brings its own memory footprint.
+                self.session_target_kb = 10_000.0 + self.mem_rng.random::<f64>() * 18_000.0;
+            }
+        }
+        self.remaining -= SAMPLE_PERIOD_SECS as f64;
+
+        // CPU: sticky mixture.
+        if self.rng.random::<f64>() >= self.cfg.cpu_persistence {
+            self.cpu_level = self.cfg.draw_cpu(&mut self.rng, self.state);
+        }
+        let jitter = 1.0 + 0.15 * (self.rng.random::<f64>() - 0.5);
+        let cpu = (self.cpu_level * jitter).clamp(0.0, 1.0);
+
+        let keyboard =
+            self.state == UserState::Active && self.rng.random::<f64>() < self.cfg.keyboard_prob;
+
+        // Memory walk: mean-revert toward the session target (active)
+        // or toward a small residual footprint (away).
+        match self.state {
+            UserState::Active => {
+                self.working_set_kb += (self.session_target_kb - self.working_set_kb) * 0.02
+                    + (self.mem_rng.random::<f64>() - 0.5) * 900.0;
+            }
+            UserState::Away => {
+                // Memory drains only slowly when the user steps away
+                // (editors and builds stay resident) — the paper finds
+                // "no significant difference in the available memory
+                // between idle and non-idle states".
+                self.working_set_kb += (9_000.0 - self.working_set_kb) * 0.0008
+                    + (self.mem_rng.random::<f64>() - 0.5) * 250.0;
+            }
+        }
+        self.working_set_kb = self.working_set_kb.clamp(2_000.0, 36_000.0);
+        let mem_used_kb =
+            ((self.os_base_kb + self.working_set_kb) as u32).min(TOTAL_MEMORY_KB);
+
+        let window = (RECRUITMENT_SECS / SAMPLE_PERIOD_SECS) as u32;
+        if cpu < IDLE_CPU_THRESHOLD && !keyboard {
+            self.quiet_streak += 1;
+        } else {
+            self.quiet_streak = 0;
+        }
+        self.next += 1;
+        (CoarseSample { cpu, mem_used_kb, keyboard }, self.quiet_streak >= window)
+    }
+
+    /// Advance past `count` samples, discarding them.
+    pub fn skip(&mut self, count: usize) {
+        for _ in 0..count {
+            self.next_sample();
+        }
+    }
+}
+
+impl CoarseTraceConfig {
+    /// Number of samples one synthesized trace holds (the replay period).
+    pub fn sample_count(&self) -> usize {
+        (self.duration.as_secs_f64() / SAMPLE_PERIOD_SECS as f64).ceil() as usize
+    }
+
+    /// Synthesize the trace of machine `machine_id` deterministically from
+    /// `factory`'s master seed.
+    pub fn synthesize(&self, factory: &RngFactory, machine_id: u64) -> CoarseTrace {
+        let n = self.sample_count();
+        let mut stream = TraceStream::new(self, factory, machine_id);
+        let mut samples = Vec::with_capacity(n);
+        let mut idle = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, flag) = stream.next_sample();
+            samples.push(s);
+            idle.push(flag);
+        }
+        debug_assert_eq!(idle, derive_idle_flags(&samples));
+        CoarseTrace { samples, idle }
     }
 
     /// Synthesize a whole machine-room: traces for machines `0..count`.
+    ///
+    /// Machines are synthesized in parallel over
+    /// [`par_map_indexed`] — each machine's draws come from its own
+    /// `stream_for(domain, machine_id)` streams, so the library is
+    /// byte-identical at any `--jobs` (including serial).
     pub fn synthesize_library(&self, factory: &RngFactory, count: usize) -> Vec<CoarseTrace> {
-        (0..count as u64).map(|m| self.synthesize(factory, m)).collect()
+        par_map_indexed(count, None, |m| self.synthesize(factory, m as u64))
     }
 
     fn active_fraction(&self) -> f64 {
@@ -389,6 +477,55 @@ mod tests {
         assert_eq!(a.samples(), b.samples());
         let c = cfg.synthesize(&f, 4);
         assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn stream_replays_synthesize_exactly() {
+        let cfg = CoarseTraceConfig {
+            duration: SimDuration::from_secs(3600),
+            ..Default::default()
+        };
+        let f = RngFactory::new(42);
+        let trace = cfg.synthesize(&f, 9);
+        let mut stream = TraceStream::new(&cfg, &f, 9);
+        for i in 0..cfg.sample_count() {
+            assert_eq!(stream.index(), i);
+            let (s, idle) = stream.next_sample();
+            assert_eq!(&s, trace.sample(i), "sample {i}");
+            assert_eq!(idle, trace.is_idle(i), "idle flag {i}");
+        }
+    }
+
+    #[test]
+    fn stream_skip_resumes_mid_trace() {
+        let cfg = CoarseTraceConfig {
+            duration: SimDuration::from_secs(1800),
+            ..Default::default()
+        };
+        let f = RngFactory::new(77);
+        let trace = cfg.synthesize(&f, 3);
+        let mut stream = TraceStream::new(&cfg, &f, 3);
+        stream.skip(517);
+        for i in 517..cfg.sample_count() {
+            let (s, idle) = stream.next_sample();
+            assert_eq!(&s, trace.sample(i), "sample {i}");
+            assert_eq!(idle, trace.is_idle(i), "idle flag {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_library_matches_serial_synthesis() {
+        let cfg = CoarseTraceConfig {
+            duration: SimDuration::from_secs(1200),
+            ..Default::default()
+        };
+        let f = RngFactory::new(8);
+        let lib = cfg.synthesize_library(&f, 9);
+        for (m, t) in lib.iter().enumerate() {
+            let direct = cfg.synthesize(&f, m as u64);
+            assert_eq!(t.samples(), direct.samples(), "machine {m}");
+            assert_eq!(t.idle_flags(), direct.idle_flags(), "machine {m}");
+        }
     }
 
     #[test]

@@ -67,8 +67,15 @@ impl LocalWorkload {
     /// construction. Simulators that only track coarse node state use
     /// this to skip building per-node burst generators entirely.
     pub fn random_offset(trace: &CoarseTrace, factory: &RngFactory, node_id: u64) -> usize {
+        Self::random_offset_for_len(trace.len(), factory, node_id)
+    }
+
+    /// [`Self::random_offset`] from the trace *length* alone — the draw
+    /// depends only on the replay period, so streamed realizations can
+    /// compute every node's offset without materializing a single trace.
+    pub fn random_offset_for_len(len: usize, factory: &RngFactory, node_id: u64) -> usize {
         let mut off_rng = factory.stream_for(domains::TRACE_OFFSET, node_id);
-        (off_rng.random::<u64>() % trace.len() as u64) as usize
+        (off_rng.random::<u64>() % len as u64) as usize
     }
 
     /// The trace sample index in effect at simulated time `t`.

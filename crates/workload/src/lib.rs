@@ -19,6 +19,9 @@
 //! * [`library`] — the shared workload-realization cache: one synthesis
 //!   of traces + offsets + window table per `(config, seed, nodes)` key,
 //!   reused across policies, sweep points, and replications;
+//! * [`stream`] — the memory-bounded streaming realization: resumable
+//!   per-node trace streams feeding a chunked window cursor, for node
+//!   counts whose monolithic table would not fit the byte budget;
 //! * [`memory`] — the two-pool priority page model (Sec 3.2);
 //! * [`paging`] — the same policy at page granularity (LRU lists, free
 //!   list, fault costs), proving the protection invariant the Linux
@@ -61,13 +64,14 @@ pub mod library;
 pub mod memory;
 pub mod paging;
 pub mod params;
+pub mod stream;
 pub mod trace_text;
 
 pub use analysis::{CoarseAggregates, FineGrainAnalysis};
 pub use burst::{Burst, BurstGenerator, BurstKind, MIN_BURST};
 pub use coarse::{
-    CoarseSample, CoarseTrace, CoarseTraceConfig, IDLE_CPU_THRESHOLD, RECRUITMENT_SECS,
-    SAMPLE_PERIOD_SECS, TOTAL_MEMORY_KB,
+    CoarseSample, CoarseTrace, CoarseTraceConfig, TraceStream, IDLE_CPU_THRESHOLD,
+    RECRUITMENT_SECS, SAMPLE_PERIOD_SECS, TOTAL_MEMORY_KB,
 };
 pub use dispatch::DispatchTrace;
 pub use fit_table::{BurstFitTable, FitPair};
@@ -76,5 +80,6 @@ pub use library::{
     RealizeOrigin, TraceCacheStats, TraceLibrary, WindowTable, WorkloadRealization,
 };
 pub use memory::{TwoPoolMemory, PAGE_KB};
+pub use stream::{StreamSpec, WindowChunk, WindowCursor, DEFAULT_WINDOW_BUDGET_BYTES};
 pub use paging::{Owner, PagingConfig, PagingSim, PagingStats};
 pub use params::{BucketParams, BurstParamTable, NUM_BUCKETS, WINDOW_SECS};

@@ -25,6 +25,10 @@
 
 use crate::coarse::{CoarseTrace, CoarseTraceConfig};
 use crate::generator::LocalWorkload;
+use crate::stream::{
+    auto_chunk_windows, forced_chunk_windows, monolithic_bytes_estimate, window_budget_bytes,
+    StreamSpec, WindowCursor,
+};
 use linger_sim_core::{par_map_indexed, RngFactory};
 use serde::Serialize;
 use std::collections::{hash_map, HashMap};
@@ -145,6 +149,9 @@ pub struct WorkloadRealization {
     traces: Vec<Arc<CoarseTrace>>,
     offsets: Vec<usize>,
     window_table: Option<Arc<WindowTable>>,
+    /// `Some` for a streamed realization: no traces or table are
+    /// resident; consumers realize windows through a [`WindowCursor`].
+    stream: Option<StreamSpec>,
 }
 
 impl WorkloadRealization {
@@ -157,7 +164,33 @@ impl WorkloadRealization {
     /// uncached construction are bit-identical. Per-node synthesis is
     /// index-keyed, so it fans out over the process worker pool without
     /// affecting the bytes produced.
+    ///
+    /// When the fully materialized realization would not fit the window
+    /// byte budget (`LINGER_WINDOW_BUDGET_BYTES`, default 4 GiB) — or
+    /// `LINGER_WINDOW_CHUNK` forces it — this returns a *streamed*
+    /// realization instead: only the offsets are computed up front and
+    /// windows are realized on demand in chunks, byte-identical to the
+    /// monolithic table at any chunk size.
     pub fn synthesize(cfg: &CoarseTraceConfig, seed: u64, nodes: usize) -> WorkloadRealization {
+        let period = cfg.sample_count();
+        let forced = forced_chunk_windows();
+        if nodes > 0 && period > 0 {
+            let budget = window_budget_bytes();
+            if forced.is_some() || monolithic_bytes_estimate(nodes, period) > budget {
+                let chunk = forced.unwrap_or_else(|| auto_chunk_windows(nodes, period, budget));
+                return Self::synthesize_streamed(cfg, seed, nodes, chunk);
+            }
+        }
+        Self::synthesize_monolithic(cfg, seed, nodes)
+    }
+
+    /// [`Self::synthesize`] pinned to the materialized (traces + window
+    /// table) representation, regardless of budget knobs.
+    pub fn synthesize_monolithic(
+        cfg: &CoarseTraceConfig,
+        seed: u64,
+        nodes: usize,
+    ) -> WorkloadRealization {
         let factory = RngFactory::new(seed);
         let traces: Vec<Arc<CoarseTrace>> =
             par_map_indexed(nodes, None, |n| Arc::new(cfg.synthesize(&factory, n as u64)));
@@ -167,10 +200,43 @@ impl WorkloadRealization {
             .map(|(n, t)| LocalWorkload::random_offset(t, &factory, n as u64))
             .collect();
         let window_table = WindowTable::build(&traces, &offsets).map(Arc::new);
-        WorkloadRealization { traces, offsets, window_table }
+        WorkloadRealization { traces, offsets, window_table, stream: None }
     }
 
-    /// The per-node coarse traces.
+    /// [`Self::synthesize`] pinned to the streamed representation with an
+    /// explicit chunk size (in windows), regardless of budget knobs.
+    ///
+    /// Offsets are the same `TRACE_OFFSET`-stream draws as the monolithic
+    /// path (they depend only on the replay period), so a streamed
+    /// realization replays the *identical* workload — the proptests pin
+    /// full-simulation byte equality across representations.
+    pub fn synthesize_streamed(
+        cfg: &CoarseTraceConfig,
+        seed: u64,
+        nodes: usize,
+        chunk_windows: usize,
+    ) -> WorkloadRealization {
+        let period = cfg.sample_count();
+        assert!(period > 0, "streamed realization needs a nonzero period");
+        let factory = RngFactory::new(seed);
+        let offsets: Vec<usize> = (0..nodes)
+            .map(|n| LocalWorkload::random_offset_for_len(period, &factory, n as u64))
+            .collect();
+        let spec = StreamSpec {
+            cfg: cfg.clone(),
+            seed,
+            nodes,
+            chunk_windows: chunk_windows.clamp(1, period),
+        };
+        WorkloadRealization {
+            traces: Vec::new(),
+            offsets,
+            window_table: None,
+            stream: Some(spec),
+        }
+    }
+
+    /// The per-node coarse traces (empty for a streamed realization).
     pub fn traces(&self) -> &[Arc<CoarseTrace>] {
         &self.traces
     }
@@ -180,17 +246,36 @@ impl WorkloadRealization {
         &self.offsets
     }
 
-    /// The prebuilt window-major table, if the traces share one period.
+    /// The prebuilt window-major table, if the traces share one period
+    /// (always `None` for a streamed realization).
     pub fn window_table(&self) -> Option<&Arc<WindowTable>> {
         self.window_table.as_ref()
     }
 
-    /// Number of nodes this realization covers.
-    pub fn nodes(&self) -> usize {
-        self.traces.len()
+    /// The streamed-realization spec, if this realization streams.
+    pub fn stream_spec(&self) -> Option<&StreamSpec> {
+        self.stream.as_ref()
     }
 
-    /// Estimated resident bytes (samples + idle flags + offsets + table).
+    /// A fresh window cursor at window 0, for streamed realizations.
+    ///
+    /// Each simulation run needs its own cursor (the per-node generator
+    /// streams are mutable); the realization itself stays shareable.
+    pub fn cursor(&self) -> Option<WindowCursor> {
+        self.stream.as_ref().map(|spec| WindowCursor::new(spec, &self.offsets))
+    }
+
+    /// Number of nodes this realization covers.
+    pub fn nodes(&self) -> usize {
+        match &self.stream {
+            Some(spec) => spec.nodes,
+            None => self.traces.len(),
+        }
+    }
+
+    /// Estimated resident bytes (samples + idle flags + offsets + table;
+    /// just the offsets for a streamed realization — cursors own the
+    /// chunk arena and are not cached).
     pub fn approx_bytes(&self) -> usize {
         let per_sample = std::mem::size_of::<crate::coarse::CoarseSample>() + 1;
         let traces: usize = self.traces.iter().map(|t| t.len() * per_sample).sum();

@@ -1,0 +1,463 @@
+//! Memory-bounded streaming realization of the window table.
+//!
+//! The monolithic [`WindowTable`](crate::library::WindowTable) costs
+//! `O(nodes × period)` bytes — ~12 B per node-window, plus ~17 B per
+//! node-sample for the traces behind it. At 1,048,576 nodes and a
+//! 3600-second trace that is tens of gigabytes: the memory wall, not the
+//! sweep loop, is what used to cap the scaling experiments.
+//!
+//! This module replaces the build-everything-up-front step with a
+//! deterministic pipeline that never materializes a trace at all:
+//!
+//! * each node keeps a resumable [`TraceStream`] — two counter-based RNGs
+//!   plus a handful of scalars (~400 B) — positioned at the sample its
+//!   phase offset says the sweep needs next;
+//! * a [`WindowCursor`] realizes windows in [`WindowChunk`]s of `W`
+//!   windows, built on demand just ahead of the sweep; the chunk and the
+//!   per-shard fill buffers form a fixed arena that is recycled on every
+//!   refill, so peak memory is `O(nodes × W)` regardless of the period;
+//! * chunk fill is sharded over contiguous 64-aligned node ranges
+//!   ([`ShardPlan`]) — every node's samples come from its own
+//!   `stream_for(domain, node)` streams and shards scatter into disjoint
+//!   row slices in node order, so the realized bytes are identical at any
+//!   worker count, any shard count, and any chunk size.
+//!
+//! Replay wraps are handled per node: when `(offset + window) mod period`
+//! returns to 0 the node's stream is simply restarted at sample 0, which
+//! costs nothing — only the *initial* positioning pays a skip of
+//! `offset` samples (on average half a period per node, done once,
+//! in parallel, and attributed to setup time by the harness).
+//!
+//! Knobs: `LINGER_WINDOW_CHUNK` forces streaming with an explicit chunk
+//! size (in windows); `LINGER_WINDOW_BUDGET_BYTES` (default 4 GiB) is the
+//! ceiling above which a monolithic realization would not fit and the
+//! library switches to streaming on its own, sizing chunks to a quarter
+//! of the budget.
+
+use crate::coarse::{CoarseTraceConfig, TraceStream};
+use linger_sim_core::{default_jobs, RngFactory, ShardPlan};
+use std::time::Instant;
+
+/// Default byte ceiling for a fully materialized realization
+/// (traces + window table): 4 GiB keeps every historical sweep point
+/// (≤65,536 nodes) on the monolithic path while 262,144 nodes and up
+/// stream.
+pub const DEFAULT_WINDOW_BUDGET_BYTES: usize = 4 << 30;
+
+/// Spawn fill threads only at or above this node count — below it the
+/// per-chunk work is too small to amortize thread startup.
+const FILL_THREAD_MIN_NODES: usize = 4096;
+
+/// The byte ceiling for materialized realizations
+/// (`LINGER_WINDOW_BUDGET_BYTES`, default
+/// [`DEFAULT_WINDOW_BUDGET_BYTES`]). Read per call so harnesses can
+/// retune between sections.
+pub fn window_budget_bytes() -> usize {
+    std::env::var("LINGER_WINDOW_BUDGET_BYTES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(DEFAULT_WINDOW_BUDGET_BYTES)
+}
+
+/// Chunk size override: `LINGER_WINDOW_CHUNK` windows per chunk, which
+/// also *forces* the streamed path at any node count (the
+/// chunked-vs-monolithic determinism checks rely on this).
+pub fn forced_chunk_windows() -> Option<usize> {
+    std::env::var("LINGER_WINDOW_CHUNK")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+}
+
+/// Estimated resident bytes of a *monolithic* realization: traces
+/// (samples + idle flags) plus the window-major table.
+pub fn monolithic_bytes_estimate(nodes: usize, period: usize) -> usize {
+    let per_sample = std::mem::size_of::<crate::coarse::CoarseSample>() + 1;
+    let table_row = nodes * (std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+        + nodes.div_ceil(64) * std::mem::size_of::<u64>();
+    nodes * period * per_sample + period * table_row + nodes * std::mem::size_of::<usize>()
+}
+
+/// Chunk size (windows) chosen automatically: a quarter of the byte
+/// budget, at least 1 window, at most the whole period.
+pub fn auto_chunk_windows(nodes: usize, period: usize, budget_bytes: usize) -> usize {
+    let per_window = nodes * (std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+        + nodes.div_ceil(64) * std::mem::size_of::<u64>();
+    ((budget_bytes / 4) / per_window.max(1)).clamp(1, period.max(1))
+}
+
+/// The immutable recipe for a streamed realization: everything a
+/// [`WindowCursor`] needs to realize any window of any node, and nothing
+/// mutable — so it can live in the shared trace cache and serve any
+/// number of concurrent simulations, each with its own cursor.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Trace generator configuration (fixes the period).
+    pub cfg: CoarseTraceConfig,
+    /// Master seed for the per-node RNG streams.
+    pub seed: u64,
+    /// Number of nodes realized.
+    pub nodes: usize,
+    /// Windows per chunk.
+    pub chunk_windows: usize,
+}
+
+impl StreamSpec {
+    /// The replay period in windows (= samples; both are 2 s).
+    pub fn period(&self) -> usize {
+        self.cfg.sample_count()
+    }
+}
+
+/// A window-major slice of the realization covering `windows` consecutive
+/// absolute windows starting at `base` — same row layout and accessor
+/// contract as [`WindowTable`](crate::library::WindowTable), minus the
+/// modulo (the cursor already resolved absolute windows to trace
+/// samples).
+#[derive(Debug, Default)]
+pub struct WindowChunk {
+    base: usize,
+    windows: usize,
+    nodes: usize,
+    words_per_row: usize,
+    cpu: Vec<f64>,
+    mem_kb: Vec<u32>,
+    idle: Vec<u64>,
+}
+
+impl WindowChunk {
+    /// First absolute window this chunk holds.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of windows held (0 before the first fill).
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Whether absolute window `w` is resident.
+    pub fn contains(&self, w: usize) -> bool {
+        self.windows > 0 && w >= self.base && w < self.base + self.windows
+    }
+
+    /// Owner CPU demand of every node for absolute window `w`.
+    ///
+    /// # Panics
+    /// If `w` is not resident ([`WindowChunk::contains`]).
+    pub fn cpu_row(&self, w: usize) -> &[f64] {
+        assert!(self.contains(w), "window {w} not in chunk");
+        let start = (w - self.base) * self.nodes;
+        &self.cpu[start..start + self.nodes]
+    }
+
+    /// Owner-resident memory (KB) of every node for absolute window `w`.
+    pub fn mem_row(&self, w: usize) -> &[u32] {
+        assert!(self.contains(w), "window {w} not in chunk");
+        let start = (w - self.base) * self.nodes;
+        &self.mem_kb[start..start + self.nodes]
+    }
+
+    /// Recruitment idle flags for absolute window `w` as packed bit
+    /// words; bits at or past the node count are zero.
+    pub fn idle_row(&self, w: usize) -> &[u64] {
+        assert!(self.contains(w), "window {w} not in chunk");
+        let start = (w - self.base) * self.words_per_row;
+        &self.idle[start..start + self.words_per_row]
+    }
+
+    /// Resident bytes of the chunk arena.
+    pub fn approx_bytes(&self) -> usize {
+        self.cpu.capacity() * std::mem::size_of::<f64>()
+            + self.mem_kb.capacity() * std::mem::size_of::<u32>()
+            + self.idle.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Per-shard fill buffer: the shard's nodes in window-major order,
+/// recycled across fills.
+#[derive(Default)]
+struct BlockBuf {
+    cpu: Vec<f64>,
+    mem_kb: Vec<u32>,
+    idle: Vec<u64>,
+}
+
+/// A forward cursor over one simulation's windows, realizing them in
+/// chunks.
+///
+/// One cursor belongs to exactly one simulation run (the per-node
+/// streams are mutable); the shared [`StreamSpec`] is the cacheable
+/// part. Windows may be requested in any forward order; requesting an
+/// earlier window restarts the affected streams (correct, but O(period)
+/// — the sweep never does it).
+pub struct WindowCursor {
+    spec: StreamSpec,
+    offsets: Vec<usize>,
+    period: usize,
+    factory: RngFactory,
+    /// Lazily initialized at the first fill (creation + offset skip is
+    /// the dominant setup cost and belongs inside `build_secs`).
+    streams: Vec<TraceStream>,
+    chunk: WindowChunk,
+    scratch: Vec<BlockBuf>,
+    plan: ShardPlan,
+    build_secs: f64,
+    chunks_built: u64,
+}
+
+impl WindowCursor {
+    /// A cursor at window 0 for `spec`, with per-node phase `offsets`
+    /// (the `TRACE_OFFSET`-stream draws).
+    pub fn new(spec: &StreamSpec, offsets: &[usize]) -> WindowCursor {
+        assert_eq!(offsets.len(), spec.nodes, "one offset per node");
+        let period = spec.period();
+        assert!(period > 0, "streamed realization needs a nonzero period");
+        let workers = default_jobs().max(1);
+        let shards = if spec.nodes >= FILL_THREAD_MIN_NODES { workers } else { 1 };
+        let plan = ShardPlan::new(spec.nodes, shards);
+        WindowCursor {
+            spec: spec.clone(),
+            offsets: offsets.to_vec(),
+            period,
+            factory: RngFactory::new(spec.seed),
+            streams: Vec::new(),
+            chunk: WindowChunk::default(),
+            scratch: Vec::new(),
+            plan,
+            build_secs: 0.0,
+            chunks_built: 0,
+        }
+    }
+
+    /// The spec this cursor realizes.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Seconds spent building chunks so far (stream positioning +
+    /// generation + scatter). The harness reports this as setup, not
+    /// window-loop time.
+    pub fn build_secs(&self) -> f64 {
+        self.build_secs
+    }
+
+    /// Chunks built so far.
+    pub fn chunks_built(&self) -> u64 {
+        self.chunks_built
+    }
+
+    /// Resident bytes of the cursor arena (chunk + scratch + streams).
+    pub fn approx_bytes(&self) -> usize {
+        let scratch: usize = self
+            .scratch
+            .iter()
+            .map(|b| {
+                b.cpu.capacity() * 8 + b.mem_kb.capacity() * 4 + b.idle.capacity() * 8
+            })
+            .sum();
+        self.chunk.approx_bytes()
+            + scratch
+            + self.streams.capacity() * std::mem::size_of::<TraceStream>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Make absolute window `w` resident and return the chunk holding it.
+    pub fn ensure(&mut self, w: usize) -> &WindowChunk {
+        if !self.chunk.contains(w) {
+            self.fill(w);
+        }
+        &self.chunk
+    }
+
+    /// The resident chunk (must already contain the windows being read —
+    /// [`WindowCursor::ensure`] first).
+    pub fn chunk(&self) -> &WindowChunk {
+        &self.chunk
+    }
+
+    /// Rebuild the chunk arena to cover `[base, base + W)`.
+    fn fill(&mut self, base: usize) {
+        let t0 = Instant::now();
+        let nodes = self.spec.nodes;
+        let period = self.period;
+        let windows = self.spec.chunk_windows.min(period).max(1);
+        let words_per_row = nodes.div_ceil(64);
+
+        if self.streams.is_empty() {
+            // First fill: create every stream at sample 0. The skip to
+            // each node's offset happens in the per-window positioning
+            // below, inside the sharded fill.
+            let spec_cfg = &self.spec.cfg;
+            let factory = &self.factory;
+            self.streams = linger_sim_core::par_map_indexed(nodes, None, |n| {
+                TraceStream::new(spec_cfg, factory, n as u64)
+            });
+            self.scratch = (0..self.plan.shard_count()).map(|_| BlockBuf::default()).collect();
+        }
+
+        // Generate into per-shard window-major buffers.
+        let ranges = self.plan.ranges().to_vec();
+        let stream_parts = self.plan.split_mut(&mut self.streams);
+        let offset_parts: Vec<&[usize]> = {
+            let mut parts = Vec::with_capacity(ranges.len());
+            let mut rest: &[usize] = &self.offsets;
+            let mut consumed = 0usize;
+            for r in &ranges {
+                let (head, tail) = rest.split_at(r.end - consumed);
+                parts.push(head);
+                rest = tail;
+                consumed = r.end;
+            }
+            parts
+        };
+        let spec_cfg = &self.spec.cfg;
+        let factory = &self.factory;
+        let fill_shard = |streams: &mut [TraceStream],
+                          offsets: &[usize],
+                          buf: &mut BlockBuf,
+                          range: &std::ops::Range<usize>| {
+            let len = range.len();
+            let words = len.div_ceil(64);
+            buf.cpu.clear();
+            buf.cpu.resize(windows * len, 0.0);
+            buf.mem_kb.clear();
+            buf.mem_kb.resize(windows * len, 0);
+            buf.idle.clear();
+            buf.idle.resize(windows * words, 0);
+            for (j, (stream, &offset)) in streams.iter_mut().zip(offsets).enumerate() {
+                for dw in 0..windows {
+                    let target = (offset + base + dw) % period;
+                    if stream.index() > target {
+                        // Wrapped past the end of the trace: replay from
+                        // sample 0 (a fresh stream *is* sample 0).
+                        *stream = TraceStream::new(spec_cfg, factory, range.start as u64 + j as u64);
+                    }
+                    if stream.index() < target {
+                        stream.skip(target - stream.index());
+                    }
+                    let (s, idle) = stream.next_sample();
+                    buf.cpu[dw * len + j] = s.cpu;
+                    buf.mem_kb[dw * len + j] = s.mem_used_kb;
+                    if idle {
+                        buf.idle[dw * words + j / 64] |= 1u64 << (j % 64);
+                    }
+                }
+            }
+        };
+        if ranges.len() > 1 {
+            let fill_shard = &fill_shard;
+            std::thread::scope(|scope| {
+                for (((streams, offsets), buf), range) in stream_parts
+                    .into_iter()
+                    .zip(offset_parts)
+                    .zip(self.scratch.iter_mut())
+                    .zip(&ranges)
+                {
+                    scope.spawn(move || fill_shard(streams, offsets, buf, range));
+                }
+            });
+        } else {
+            for (((streams, offsets), buf), range) in stream_parts
+                .into_iter()
+                .zip(offset_parts)
+                .zip(self.scratch.iter_mut())
+                .zip(&ranges)
+            {
+                fill_shard(streams, offsets, buf, range);
+            }
+        }
+
+        // Scatter shard buffers into window-major rows, in node order.
+        let chunk = &mut self.chunk;
+        chunk.base = base;
+        chunk.windows = windows;
+        chunk.nodes = nodes;
+        chunk.words_per_row = words_per_row;
+        chunk.cpu.clear();
+        chunk.cpu.resize(windows * nodes, 0.0);
+        chunk.mem_kb.clear();
+        chunk.mem_kb.resize(windows * nodes, 0);
+        chunk.idle.clear();
+        chunk.idle.resize(windows * words_per_row, 0);
+        for dw in 0..windows {
+            for (i, (buf, range)) in self.scratch.iter().zip(&ranges).enumerate() {
+                let len = range.len();
+                let words = len.div_ceil(64);
+                chunk.cpu[dw * nodes + range.start..dw * nodes + range.end]
+                    .copy_from_slice(&buf.cpu[dw * len..dw * len + len]);
+                chunk.mem_kb[dw * nodes + range.start..dw * nodes + range.end]
+                    .copy_from_slice(&buf.mem_kb[dw * len..dw * len + len]);
+                let wr = self.plan.word_range(i);
+                chunk.idle[dw * words_per_row + wr.start..dw * words_per_row + wr.end]
+                    .copy_from_slice(&buf.idle[dw * words..dw * words + words]);
+            }
+        }
+
+        self.build_secs += t0.elapsed().as_secs_f64();
+        self.chunks_built += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::WorkloadRealization;
+    use linger_sim_core::SimDuration;
+
+    fn cfg(secs: u64) -> CoarseTraceConfig {
+        CoarseTraceConfig { duration: SimDuration::from_secs(secs), ..Default::default() }
+    }
+
+    /// Every chunk size must reproduce the monolithic table bit-for-bit,
+    /// including across the wrap.
+    #[test]
+    fn chunked_rows_match_monolithic_table() {
+        let c = cfg(600); // period 300
+        let mono = WorkloadRealization::synthesize_monolithic(&c, 13, 70);
+        let tbl = mono.window_table().expect("table");
+        for chunk_windows in [1usize, 7, 64, 300] {
+            let streamed = WorkloadRealization::synthesize_streamed(&c, 13, 70, chunk_windows);
+            let mut cur = streamed.cursor().expect("streamed");
+            assert_eq!(streamed.offsets(), mono.offsets());
+            // Probe past the period to exercise per-node restarts.
+            for w in 0..2 * tbl.period() + 3 {
+                let chunk = cur.ensure(w);
+                assert_eq!(
+                    chunk.cpu_row(w).iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                    tbl.cpu_row(w).iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                    "cpu row {w} chunk {chunk_windows}"
+                );
+                assert_eq!(chunk.mem_row(w), tbl.mem_row(w), "mem row {w}");
+                assert_eq!(chunk.idle_row(w), tbl.idle_row(w), "idle row {w}");
+            }
+            assert!(cur.build_secs() > 0.0);
+            assert!(cur.chunks_built() >= 1);
+        }
+    }
+
+    #[test]
+    fn auto_chunk_respects_budget_and_period() {
+        // Period caps the chunk.
+        assert_eq!(auto_chunk_windows(64, 10, usize::MAX), 10);
+        // Tiny budgets still realize one window at a time.
+        assert_eq!(auto_chunk_windows(1 << 20, 1800, 1), 1);
+        // A quarter of the budget, not all of it.
+        let nodes = 1 << 20;
+        let w = auto_chunk_windows(nodes, 1800, 4 << 30);
+        let per_window = nodes * 12 + nodes / 64 * 8;
+        assert!(w * per_window <= 1 << 30);
+        assert!(w >= 64, "got {w}");
+    }
+
+    #[test]
+    fn monolithic_estimate_tracks_realized_bytes() {
+        let c = cfg(600);
+        let real = WorkloadRealization::synthesize_monolithic(&c, 5, 40);
+        let est = monolithic_bytes_estimate(40, c.sample_count());
+        let actual = real.approx_bytes();
+        assert!(est >= actual, "estimate {est} must not undershoot {actual}");
+        assert!(est <= actual * 2, "estimate {est} way above {actual}");
+    }
+}
