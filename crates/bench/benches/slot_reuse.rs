@@ -1,0 +1,85 @@
+//! Respawn-churn benchmarks of the job-slot recycler: the same
+//! constant-load throughput configuration as `ext_scaling`, at 4096 and
+//! 65,536 nodes, run append-only (`set_slot_reuse(false)`, the
+//! historical layout) versus recycled (the default). Runs are
+//! deterministic, so a probe run pins the respawn count and each
+//! layout's live-lane bytes up front — printed alongside, with
+//! ns/respawn derived from the probe's wall-clock, since the recycler's
+//! claim is as much about the footprint the window sweeps stride over
+//! as about the respawn itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linger::{JobFamily, Policy};
+use linger_cluster::{ClusterConfig, ClusterSim, RunMode};
+use linger_sim_core::{SimDuration, SimTime};
+use linger_workload::CoarseTraceConfig;
+use std::hint::black_box;
+
+fn churn_cfg(nodes: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper(
+        Policy::LingerLonger,
+        // Short demands against a long horizon: every slot turns over
+        // many times, so the respawn path dominates the delta between
+        // the two layouts.
+        JobFamily::uniform((2 * nodes) as u32, SimDuration::from_secs(60), 8 * 1024),
+    );
+    cfg.nodes = nodes;
+    cfg.seed = 1998;
+    cfg.trace = CoarseTraceConfig {
+        duration: SimDuration::from_secs(3600),
+        ..Default::default()
+    };
+    cfg.mode = RunMode::Throughput { horizon: SimTime::from_secs(600) };
+    cfg
+}
+
+/// One timed run of the cell under the given layout, reporting the
+/// respawn count, final live-lane bytes/rows, and ns per respawn.
+fn probe(nodes: usize, recycle: bool) -> u64 {
+    let mut sim = ClusterSim::new(churn_cfg(nodes));
+    sim.set_slot_reuse(recycle);
+    let t0 = std::time::Instant::now();
+    sim.run();
+    let secs = t0.elapsed().as_secs_f64();
+    let respawns = sim.completed() as u64;
+    println!(
+        "slot_reuse probe {nodes}n {}: {} respawns, {:.0} ns/respawn, \
+         live lanes {} bytes ({} rows, {} archived)",
+        if recycle { "recycled" } else { "append-only" },
+        respawns,
+        secs * 1e9 / respawns.max(1) as f64,
+        sim.live_lane_bytes(),
+        sim.live_job_rows(),
+        sim.archived_jobs(),
+    );
+    respawns
+}
+
+fn bench_respawn_churn(c: &mut Criterion) {
+    for nodes in [4096usize, 65_536] {
+        probe(nodes, true);
+        probe(nodes, false);
+        let name = format!("respawn_churn_{nodes}n");
+        let mut group = c.benchmark_group(&name);
+        for (label, recycle) in [("recycled", true), ("append_only", false)] {
+            group.bench_function(label, |b| {
+                b.iter_batched(
+                    || {
+                        let mut sim = ClusterSim::new(churn_cfg(nodes));
+                        sim.set_slot_reuse(recycle);
+                        sim
+                    },
+                    |mut sim| {
+                        sim.run();
+                        black_box((sim.completed(), sim.live_lane_bytes()))
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_respawn_churn);
+criterion_main!(benches);

@@ -37,6 +37,7 @@ fn main() {
         "chunk build (s)",
         "window loop (s)",
         "ns/node-window",
+        "live rows",
     ]);
     for (p, tm) in points.iter().zip(&timings) {
         t.row(vec![
@@ -49,9 +50,19 @@ fn main() {
             format!("{:.3}", tm.stream_build_secs),
             format!("{:.3}", tm.run_secs),
             format!("{:.1}", tm.ns_per_node_window),
+            format!("{}", tm.live_job_rows),
         ]);
     }
     t.print();
+    // One grep-able line per node count for the CI live-lane assertion:
+    // with slot recycling the live rows equal the initial job count
+    // (2 jobs per node) regardless of turnover.
+    for tm in timings.iter().filter(|tm| tm.policy == "LL") {
+        println!(
+            "live-lanes: nodes={} live_rows={} archived={}",
+            tm.nodes, tm.live_job_rows, tm.archived_jobs
+        );
+    }
     let lo = counts[0];
     let hi = *counts.last().unwrap();
     let base = scaling_ns_per_node_window(&timings, lo);

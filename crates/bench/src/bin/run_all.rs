@@ -386,12 +386,16 @@ fn main() {
             // tens of percent run-to-run, which makes any ratio against
             // it flaky, while a reintroduced per-window O(nodes) or
             // O(jobs) scan lands microseconds over the cap either way.
-            // Full-mode headroom over the measured 117-253 ns reflects
-            // physics, not slack: at 1,048,576 nodes the job lanes (13M
-            // jobs after respawns) dwarf every cache level and each
-            // busy-node visit pays DRAM latency. Shrinking the live job
-            // set (slot reuse) is the known next lever.
-            let flat_cap_ns = if args.fast { 250.0 } else { 400.0 };
+            // Slot recycling pins the hot job lanes at O(active jobs)
+            // (2·nodes rows — ~2M at the top count, not the ~13M an
+            // append-only slab reaches after respawns), and the re-
+            // measured post-recycling band tightens the full ceiling
+            // 400 → 320: worst policy at 1,048,576 nodes is LL at
+            // 247.5 ns/node-window (seed 1998, reference machine)
+            // + ~30% margin. The remaining gap over the 64-node cells
+            // is the *active* set: 2M live jobs dwarf L2, so busy-node
+            // visits miss where the 64-node denominator runs from L1.
+            let flat_cap_ns = if args.fast { 250.0 } else { 320.0 };
             let per_policy: Vec<(String, f64, f64)> = ["LL", "LF", "IE", "PM"]
                 .iter()
                 .filter_map(|&p| {
@@ -630,30 +634,36 @@ fn main() {
     .flatten()
     .collect();
     // Per-cell window-loop costs (ns per node-window) measured on the
-    // reference machine immediately before the struct-of-arrays +
-    // sharded-sweep change (seed 1998, --jobs default, timing_reps as
-    // recorded: >=3 only for 64-node cells). Machine-dependent —
-    // informational, except that the scorecard guard below requires
-    // every cell to be no slower than this recording.
+    // reference machine immediately after the job-slot-recycling change
+    // (seed 1998, --jobs default, timing_reps as recorded: 1 at
+    // >=262,144, >=3 elsewhere). Machine-dependent — informational,
+    // except that the scorecard guard below requires every cell to be
+    // no slower than this recording. Re-record whenever a PR moves the
+    // window loop: the guard compares against the *current* lever, not
+    // a historical one.
     let scaling_before_ns: &[(usize, &str, f64)] = if args.fast {
         &[
-            (64, "LL", 124.9), (64, "LF", 64.5), (64, "IE", 39.9), (64, "PM", 37.7),
-            (1024, "LL", 83.5), (1024, "LF", 76.9), (1024, "IE", 46.2), (1024, "PM", 47.0),
-            (4096, "LL", 105.9), (4096, "LF", 92.6), (4096, "IE", 67.3), (4096, "PM", 71.4),
-            (16_384, "LL", 192.2), (16_384, "LF", 186.0), (16_384, "IE", 114.9),
-            (16_384, "PM", 109.6),
-            (65_536, "LL", 631.6), (65_536, "LF", 645.4), (65_536, "IE", 368.1),
-            (65_536, "PM", 438.3),
+            (64, "LL", 57.7), (64, "LF", 53.7), (64, "IE", 29.2), (64, "PM", 30.9),
+            (1024, "LL", 81.1), (1024, "LF", 81.2), (1024, "IE", 44.2), (1024, "PM", 46.3),
+            (4096, "LL", 73.5), (4096, "LF", 69.4), (4096, "IE", 34.6), (4096, "PM", 35.2),
+            (16_384, "LL", 93.5), (16_384, "LF", 77.6), (16_384, "IE", 43.5),
+            (16_384, "PM", 48.5),
+            (65_536, "LL", 97.5), (65_536, "LF", 85.3), (65_536, "IE", 60.3),
+            (65_536, "PM", 58.2),
         ]
     } else {
         &[
-            (64, "LL", 141.6), (64, "LF", 141.6), (64, "IE", 46.6), (64, "PM", 56.9),
-            (1024, "LL", 79.6), (1024, "LF", 79.8), (1024, "IE", 48.2), (1024, "PM", 47.4),
-            (4096, "LL", 135.0), (4096, "LF", 93.3), (4096, "IE", 53.5), (4096, "PM", 60.1),
-            (16_384, "LL", 137.3), (16_384, "LF", 124.4), (16_384, "IE", 87.5),
-            (16_384, "PM", 79.8),
-            (65_536, "LL", 244.3), (65_536, "LF", 224.4), (65_536, "IE", 151.5),
-            (65_536, "PM", 135.1),
+            (64, "LL", 132.1), (64, "LF", 71.8), (64, "IE", 32.2), (64, "PM", 35.6),
+            (1024, "LL", 70.8), (1024, "LF", 70.6), (1024, "IE", 30.2), (1024, "PM", 30.6),
+            (4096, "LL", 88.0), (4096, "LF", 67.8), (4096, "IE", 37.6), (4096, "PM", 30.4),
+            (16_384, "LL", 123.6), (16_384, "LF", 110.5), (16_384, "IE", 52.6),
+            (16_384, "PM", 53.0),
+            (65_536, "LL", 96.6), (65_536, "LF", 89.1), (65_536, "IE", 50.8),
+            (65_536, "PM", 60.6),
+            (262_144, "LL", 160.6), (262_144, "LF", 108.7), (262_144, "IE", 62.4),
+            (262_144, "PM", 67.6),
+            (1_048_576, "LL", 247.5), (1_048_576, "LF", 153.0), (1_048_576, "IE", 125.7),
+            (1_048_576, "PM", 131.3),
         ]
     };
     timings.scaling_baselines = ScalingBaseline::compare(&timings.scaling, scaling_before_ns);
@@ -662,25 +672,34 @@ fn main() {
     // ledger noticed — this check makes the scorecard notice). 64-node
     // cells run in about a millisecond and their per-run cost is timer
     // and cache noise, so the guard covers the cells big enough to time
-    // reliably; the small cells stay in the ledger informationally. The
-    // 0.9 floor absorbs run-to-run jitter on the ~50 ms mid-size cells
-    // (observed down to 0.94x on an idle machine) while still tripping
-    // on real regressions like PR 6's 0.83x.
+    // reliably; the small cells stay in the ledger informationally.
+    // The guard only runs in full mode: full-mode cells run for seconds
+    // and average over host jitter, so 0.9 still trips on real
+    // regressions like PR 6's 0.83x. Fast-mode mid-size cells finish in
+    // 10-50 ms and this shared host swings them up to ~1.8x between
+    // back-to-back idle runs (0.55x observed against a minutes-old
+    // recording) — no floor separates noise from regression at that
+    // variance, so fast mode keeps the per-cell ledger informational
+    // and relies on the absolute flat-ceiling check above for gross
+    // regressions.
+    let floor = 0.9;
     let guarded: Vec<&ScalingBaseline> =
         timings.scaling_baselines.iter().filter(|b| b.nodes >= 1024).collect();
-    if !guarded.is_empty() {
+    if !args.fast && !guarded.is_empty() {
         let worst = guarded
             .iter()
             .min_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"))
             .expect("non-empty");
         checks.push(Check {
             name: "Ext: no per-cell scaling regression vs recorded baseline",
-            paper: "every >=1024-node cell's speedup vs pre-SoA recording >= 0.9".into(),
+            paper: format!(
+                "every >=1024-node cell's speedup vs post-recycling recording >= {floor}"
+            ),
             measured: format!(
                 "worst cell {}/{}: {:.2}x ({:.1} -> {:.1} ns/node-window)",
                 worst.nodes, worst.policy, worst.speedup, worst.before_ns, worst.after_ns
             ),
-            ok: guarded.iter().all(|b| b.speedup >= 0.9),
+            ok: guarded.iter().all(|b| b.speedup >= floor),
         });
     }
 

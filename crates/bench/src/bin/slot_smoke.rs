@@ -1,0 +1,133 @@
+//! CI smoke for the job-slot recycler: a long-horizon throughput run at
+//! 65,536 nodes with enough windows for ≥4× job turnover, asserting the
+//! live hot-lane length stays pinned at the initial job count while the
+//! archive absorbs every completion — then an in-process
+//! recycled-vs-append-only determinism diff (records, counters, and the
+//! telemetry journal) on a smaller cell with faults and migrations
+//! active.
+//!
+//! `--fast` shrinks the turnover cell to 4096 nodes so the whole smoke
+//! stays inside a couple of seconds; `--max-nodes <n>` caps the cell
+//! directly.
+
+use linger::{JobFamily, Policy};
+use linger_bench::output::{banner, HarnessArgs};
+use linger_cluster::{ClusterConfig, ClusterSim, FaultConfig, RunMode};
+use linger_sim_core::{SimDuration, SimTime};
+use linger_telemetry::Recorder;
+use linger_workload::CoarseTraceConfig;
+
+fn throughput_cfg(
+    policy: Policy,
+    nodes: usize,
+    demand_s: u64,
+    horizon_s: u64,
+    seed: u64,
+) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper(
+        policy,
+        JobFamily::uniform((2 * nodes) as u32, SimDuration::from_secs(demand_s), 8 * 1024),
+    );
+    cfg.nodes = nodes;
+    cfg.seed = seed;
+    cfg.trace = CoarseTraceConfig {
+        duration: SimDuration::from_secs(3600),
+        ..Default::default()
+    };
+    cfg.mode = RunMode::Throughput { horizon: SimTime::from_secs(horizon_s) };
+    cfg
+}
+
+/// The run's complete observable outcome as one string — the same shape
+/// the slot-reuse proptest pins, so a CI diff failure here reproduces
+/// locally under the test harness.
+fn signature(mut sim: ClusterSim) -> String {
+    sim.set_recorder(Recorder::with_capacity(1 << 16));
+    sim.run();
+    let events = sim
+        .recorder()
+        .journal()
+        .map(|j| serde_json::to_string(&j.snapshot()).unwrap())
+        .unwrap_or_default();
+    format!(
+        "{:?}|{}|{}|{:?}|{}",
+        sim.jobs(),
+        sim.foreign_cpu_delivered().as_nanos(),
+        sim.foreground_delay_ratio().to_bits(),
+        sim.fault_stats(),
+        events,
+    )
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Slot-recycling smoke",
+        "long-horizon turnover bound + recycled-vs-append-only determinism",
+    );
+
+    // 1. Turnover bound: short demands against a long horizon cycle
+    //    every slot several times; the recycler must keep the hot lanes
+    //    at exactly the initial job count the whole way.
+    let nodes = args
+        .max_nodes
+        .unwrap_or(if args.fast { 4096 } else { 65_536 });
+    let initial_jobs = 2 * nodes;
+    let mut sim = ClusterSim::new(throughput_cfg(Policy::LingerLonger, nodes, 30, 600, args.seed));
+    assert!(sim.slot_reuse(), "recycling must be the default layout");
+    let t0 = std::time::Instant::now();
+    sim.run();
+    let turnover = sim.completed() as f64 / initial_jobs as f64;
+    println!(
+        "turnover cell: {} nodes, {} initial jobs, {} completed ({:.1}x turnover) \
+         in {:.1}s",
+        nodes,
+        initial_jobs,
+        sim.completed(),
+        turnover,
+        t0.elapsed().as_secs_f64(),
+    );
+    println!(
+        "live-lanes: rows={} bytes={} archived={}",
+        sim.live_job_rows(),
+        sim.live_lane_bytes(),
+        sim.archived_jobs(),
+    );
+    assert!(
+        turnover >= 4.0,
+        "smoke horizon must produce >=4x job turnover (got {turnover:.2}x)"
+    );
+    assert_eq!(
+        sim.live_job_rows(),
+        initial_jobs,
+        "live hot-lane length must stay pinned at the initial job count"
+    );
+    assert_eq!(
+        sim.archived_jobs(),
+        sim.completed(),
+        "every completion must retire into the archive"
+    );
+    println!("[PASS] live hot lanes pinned at {initial_jobs} rows through {turnover:.1}x turnover");
+
+    // 2. Determinism diff: recycled and append-only runs of a cell with
+    //    faults and migrations active must be byte-identical in every
+    //    observable — records in id order, accumulators, fault counters,
+    //    and the telemetry journal.
+    let mk = || {
+        let mut cfg = throughput_cfg(Policy::ImmediateEviction, 512, 60, 900, args.seed);
+        cfg.faults = FaultConfig {
+            crash_rate_per_hour: 2.0,
+            mean_reboot_secs: 120.0,
+            migration_failure_prob: 0.1,
+        };
+        ClusterSim::new(cfg)
+    };
+    let mut recycled = mk();
+    recycled.set_slot_reuse(true);
+    let mut append_only = mk();
+    append_only.set_slot_reuse(false);
+    let a = signature(recycled);
+    let b = signature(append_only);
+    assert_eq!(a, b, "recycled and append-only signatures diverged");
+    println!("[PASS] recycled vs append-only determinism diff ({} signature bytes)", a.len());
+}

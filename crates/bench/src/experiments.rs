@@ -592,6 +592,12 @@ pub struct ScalingTiming {
     pub node_windows: f64,
     /// Window-loop nanoseconds per node-window.
     pub ns_per_node_window: f64,
+    /// Live hot-lane rows in the job slabs after the run — with slot
+    /// recycling this stays at the initial job count (`O(active jobs)`)
+    /// no matter how many respawns the horizon produced.
+    pub live_job_rows: usize,
+    /// Completed jobs retired to the cold archive during the run.
+    pub archived_jobs: usize,
 }
 
 /// Window-loop nanoseconds per node-window at one node count, aggregated
@@ -726,6 +732,8 @@ pub fn ext_scaling_at(
                 timing_reps: reps,
                 node_windows,
                 ns_per_node_window: run_secs * 1e9 / node_windows.max(1.0),
+                live_job_rows: sim.live_job_rows(),
+                archived_jobs: sim.archived_jobs(),
             });
         }
     }

@@ -185,11 +185,6 @@ pub struct ClusterSim {
     /// Per-window row source: shared table, streamed chunks, or raw
     /// per-node traces (mixed periods).
     windows: WindowSource,
-    /// Window index at which each job last entered the central queue
-    /// (parallel to the job slabs; 0 for the initial population). Queue
-    /// time is accrued in one exact multiply at dequeue instead of one
-    /// add per queued job per window — see [`Self::place_queued`].
-    queued_from: Vec<u32>,
     /// Word-aligned partition of the node-id space driving the
     /// classify phase of every sweep.
     plan: ShardPlan,
@@ -296,7 +291,6 @@ impl ClusterSim {
         assert_eq!(nodes.len(), cfg.nodes, "one node slab entry per node");
         let jobs = JobSlabs::from_specs(cfg.family.jobs());
         let queue = (0..jobs.len()).collect();
-        let queued_from = vec![0; jobs.len()];
         let next_job_id = jobs.len() as u32;
         let n = cfg.nodes;
         // The fault schedule spans the run's hard horizon; events are a
@@ -337,7 +331,6 @@ impl ClusterSim {
             place_scratch: VecDeque::new(),
             migrating: Vec::new(),
             windows,
-            queued_from,
             plan,
             decide_bufs: vec![Vec::new(); shard_count],
             progress_bufs: vec![Vec::new(); shard_count],
@@ -417,22 +410,31 @@ impl ClusterSim {
         SimTime::ZERO + WINDOW.mul_f64(self.window as f64)
     }
 
-    /// Materialized job records in index order (inspect after a run).
+    /// Materialized records of the full job population — archived and
+    /// live — in ascending id order (inspect after a run). With the
+    /// append-only layout, slab order *was* id order, so this is the
+    /// same vector it always produced; slot recycling only changes
+    /// which slot a live record comes from, never its place here.
     pub fn jobs(&self) -> Vec<JobRecord> {
-        let mut records = self.jobs.records();
-        // Queue time accrues lazily (one multiply at dequeue); jobs still
-        // on the queue carry an unflushed span — patch it in here so the
-        // materialized breakdowns match the historic per-window walk at
-        // any point of the run.
-        for (ji, rec) in records.iter_mut().enumerate() {
+        let mut records = Vec::with_capacity(self.jobs.total_jobs());
+        records.extend(self.jobs.archived().iter().cloned());
+        for ji in 0..self.jobs.len() {
+            let mut rec = self.jobs.record(ji);
+            // Queue time accrues lazily (one multiply at dequeue); jobs
+            // still on the queue carry an unflushed span — patch it in
+            // here so the materialized breakdowns match the historic
+            // per-window walk at any point of the run. Archived records
+            // never need the patch: retirement implies completion.
             if rec.state == JobState::Queued {
-                let from = self.queued_from[ji].max(self.arrival_window(ji));
+                let from = self.jobs.queued_from[ji].max(self.arrival_window(ji));
                 let w = self.window as u32;
                 if w > from {
                     rec.breakdown.queued += Self::window_span(w - from);
                 }
             }
+            records.push(rec);
         }
+        records.sort_unstable_by_key(|r| r.spec.id.0);
         records
     }
 
@@ -454,6 +456,37 @@ impl ClusterSim {
     /// Number of completed jobs.
     pub fn completed(&self) -> usize {
         self.completed
+    }
+
+    /// Live hot-lane rows in the job slabs — the recycling invariant is
+    /// that this stays `O(active jobs)` no matter how many jobs have
+    /// flowed through a throughput run.
+    pub fn live_job_rows(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Completed jobs whose records moved to the cold archive.
+    pub fn archived_jobs(&self) -> usize {
+        self.jobs.archived_len()
+    }
+
+    /// Resident bytes of the live job lanes (see
+    /// [`crate::state::JobSlabs::live_lane_bytes`]).
+    pub fn live_lane_bytes(&self) -> usize {
+        self.jobs.live_lane_bytes()
+    }
+
+    /// Whether completed slots are recycled through the free list (on by
+    /// default; `LINGER_NO_SLOT_REUSE=1` or [`Self::set_slot_reuse`]
+    /// selects the historical append-only layout).
+    pub fn slot_reuse(&self) -> bool {
+        self.jobs.slot_reuse()
+    }
+
+    /// Force the slot-reuse mode for this sim (used by the equivalence
+    /// tests and benches; outputs are byte-identical either way).
+    pub fn set_slot_reuse(&mut self, on: bool) {
+        self.jobs.set_slot_reuse(on);
     }
 
     /// Fault-injection counters accumulated so far (all zero when
@@ -502,7 +535,7 @@ impl ClusterSim {
         let done = loop {
             match self.cfg.mode {
                 RunMode::Family => {
-                    if self.completed == self.jobs.len() {
+                    if self.completed == self.jobs.total_jobs() {
                         break true;
                     }
                     if self.now() >= self.cfg.max_time {
@@ -585,7 +618,13 @@ impl ClusterSim {
         //    jobs have fresh deadlines in the future and are merged back
         //    for the next window.
         let mut mig = std::mem::take(&mut self.migrating);
-        mig.sort_unstable();
+        // Sort by the slot's *current occupant id*, not the raw slab
+        // index: with the append-only layout the two orders coincided,
+        // but a recycled slot can hold a high id at a low index and the
+        // arrival order is observable (destination picks depend on what
+        // earlier arrivals occupied). Equal ids mean equal slots, so
+        // `dedup` still collapses duplicates after the sort.
+        mig.sort_unstable_by_key(|&ji| self.jobs.id[ji].0);
         mig.dedup();
         if let Some(net) = self.cfg.network {
             let flows = mig
@@ -682,7 +721,7 @@ impl ClusterSim {
     /// including) the current one — the exact set of windows the historic
     /// phase-6 walk visited it in.
     fn flush_queue_time(&mut self, ji: usize) {
-        let from = self.queued_from[ji].max(self.arrival_window(ji));
+        let from = self.jobs.queued_from[ji].max(self.arrival_window(ji));
         let w = self.window as u32;
         if w > from {
             self.jobs.breakdown[ji].queued += Self::window_span(w - from);
@@ -1042,7 +1081,7 @@ impl ClusterSim {
         cold.migration_until = None;
         cold.migration_bits_left = None;
         cold.migration_attempts = 0;
-        self.queued_from[ji] = self.window as u32;
+        self.jobs.queued_from[ji] = self.window as u32;
         self.queue.push_back(ji);
         self.telemetry.record(|| {
             self.event_at(t, EventKind::QueueEnter).for_job(self.jobs.id[ji].0)
@@ -1242,9 +1281,11 @@ impl ClusterSim {
                 mem_kb: self.jobs.mem_kb[ji],
             };
             self.next_job_id += 1;
-            let new_ji = self.jobs.push(spec);
-            self.queued_from.push(self.window as u32);
-            debug_assert_eq!(self.queued_from.len(), self.jobs.len());
+            // Retire the finished record into the archive and respawn in
+            // the freed slot (or append when `LINGER_NO_SLOT_REUSE=1`):
+            // the id above comes from the same counter either way, so
+            // recycling only changes the slab index, never the identity.
+            let new_ji = self.jobs.respawn(ji, spec, self.window as u32);
             self.queue.push_back(new_ji);
         }
     }

@@ -301,13 +301,52 @@ pub struct JobCold {
     pub crashes: u32,
 }
 
+impl JobCold {
+    /// The cold record of a freshly queued job owing `cpu_demand`.
+    fn fresh(cpu_demand: SimDuration) -> Self {
+        JobCold {
+            cpu_demand,
+            episode_start: None,
+            migration_until: None,
+            migration_bits_left: None,
+            pause_deadline: None,
+            first_start: None,
+            completed_at: None,
+            has_run: false,
+            migrations: 0,
+            migration_attempts: 0,
+            transfer_seq: 0,
+            crashes: 0,
+        }
+    }
+}
+
+
 /// Per-job state as parallel slabs keyed by job index.
 ///
 /// The hot slabs are exactly what the window sweeps consult: lifecycle
 /// `state` and `remaining` for progress, `node` for occupancy checks,
-/// `mem_kb`/`arrival`/`id` for placement and telemetry, and the
-/// per-window `breakdown` accounting. Everything else lives in the
+/// `mem_kb`/`arrival`/`id` for placement and telemetry, the per-window
+/// `breakdown` accounting, and the `queued_from` entry window that
+/// queue-time accrual flushes at dequeue. Everything else lives in the
 /// [`JobCold`] slab.
+///
+/// ## Slot recycling
+///
+/// Slab *indices* are transient handles, not identities: a finished
+/// job's full record can be moved to the append-only `archived` store
+/// ([`JobSlabs::retire`]) and its slot parked on a free list, which the
+/// next [`JobSlabs::push`] reuses. Throughput mode retires every
+/// completed job before respawning its successor, so the live lanes
+/// stay `O(active jobs)` no matter how many jobs flow through the
+/// system — at a million nodes, ~2M rows (~420 MB) flat instead of
+/// ~13M (~2.7 GB) growing with the horizon.
+/// [`JobId`]s are minted by the simulator's own counter in the same
+/// order as ever; only the slot a job occupies is reused, and
+/// [`JobSlabs::all_records`] reconstructs the full population in id
+/// order, so recycling is invisible in every output
+/// (`LINGER_NO_SLOT_REUSE=1` pins the historical append-only layout,
+/// and the slot-reuse proptests hold the two byte-identical).
 pub struct JobSlabs {
     /// Lifecycle state.
     pub(crate) state: Vec<JobState>,
@@ -324,8 +363,35 @@ pub struct JobSlabs {
     /// Per-state time accounting (hot: one bucket add per busy node and
     /// per queued job, every window).
     pub(crate) breakdown: Vec<StateBreakdown>,
+    /// Window index at which each job last entered the central queue (0
+    /// for the initial population). Queue time is accrued in one exact
+    /// multiply at dequeue instead of one add per queued job per window.
+    /// Lives here — set by the same push/recycle transaction as every
+    /// other lane — so no call site can grow the slabs without it.
+    pub(crate) queued_from: Vec<u32>,
     /// Everything the sweeps do not read.
     pub(crate) cold: Vec<JobCold>,
+    /// Finished records moved out of the slabs at retirement, in
+    /// retirement order (cold: written once per completion, read only
+    /// when materializing the population).
+    archived: Vec<JobRecord>,
+    /// Retired slot indices awaiting reuse.
+    free: Vec<u32>,
+    /// Whether [`Self::push`] may reuse retired slots
+    /// (`LINGER_NO_SLOT_REUSE=1` disables at construction).
+    recycle: bool,
+}
+
+/// The `LINGER_NO_SLOT_REUSE=1` escape hatch: pin the historical
+/// append-only slab layout (finished rows stay live, nothing is
+/// archived, every respawn appends). Outputs are byte-identical either
+/// way; the hatch exists so CI and the proptests can prove exactly
+/// that.
+fn slot_reuse_disabled() -> bool {
+    match std::env::var("LINGER_NO_SLOT_REUSE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
 }
 
 impl JobSlabs {
@@ -339,16 +405,40 @@ impl JobSlabs {
             arrival: Vec::with_capacity(specs.len()),
             id: Vec::with_capacity(specs.len()),
             breakdown: Vec::with_capacity(specs.len()),
+            queued_from: Vec::with_capacity(specs.len()),
             cold: Vec::with_capacity(specs.len()),
+            archived: Vec::new(),
+            free: Vec::new(),
+            recycle: !slot_reuse_disabled(),
         };
         for spec in specs {
-            slabs.push(*spec);
+            slabs.push(*spec, 0);
         }
         slabs
     }
 
-    /// Append a fresh queued job for `spec`; returns its index.
-    pub fn push(&mut self, spec: JobSpec) -> usize {
+    /// Add a fresh queued job for `spec`, entering the queue at window
+    /// `queued_from`; returns its slot index. Reuses a retired slot when
+    /// one is free (and recycling is on), otherwise appends. Every lane
+    /// — including `queued_from` — is initialized by this one
+    /// transaction, so the slabs can never skew.
+    pub fn push(&mut self, spec: JobSpec, queued_from: u32) -> usize {
+        if self.recycle {
+            if let Some(slot) = self.free.pop() {
+                let ji = slot as usize;
+                debug_assert_eq!(self.state[ji], JobState::Done, "free slot must be retired");
+                self.state[ji] = JobState::Queued;
+                self.node[ji] = NO_NODE;
+                self.remaining[ji] = spec.cpu_demand;
+                self.mem_kb[ji] = spec.mem_kb;
+                self.arrival[ji] = spec.arrival;
+                self.id[ji] = spec.id;
+                self.breakdown[ji] = StateBreakdown::default();
+                self.queued_from[ji] = queued_from;
+                self.cold[ji] = JobCold::fresh(spec.cpu_demand);
+                return ji;
+            }
+        }
         self.state.push(JobState::Queued);
         self.node.push(NO_NODE);
         self.remaining.push(spec.cpu_demand);
@@ -356,31 +446,89 @@ impl JobSlabs {
         self.arrival.push(spec.arrival);
         self.id.push(spec.id);
         self.breakdown.push(StateBreakdown::default());
-        self.cold.push(JobCold {
-            cpu_demand: spec.cpu_demand,
-            episode_start: None,
-            migration_until: None,
-            migration_bits_left: None,
-            pause_deadline: None,
-            first_start: None,
-            completed_at: None,
-            has_run: false,
-            migrations: 0,
-            migration_attempts: 0,
-            transfer_seq: 0,
-            crashes: 0,
-        });
+        self.queued_from.push(queued_from);
+        self.cold.push(JobCold::fresh(spec.cpu_demand));
         self.state.len() - 1
     }
 
-    /// Number of jobs tracked.
+    /// Move the finished job in slot `ji` to the cold archive and park
+    /// the slot on the free list for the next [`Self::push`]. The
+    /// materialized record is final — the job must be `Done` and off
+    /// every node/queue/worklist before retirement.
+    pub fn retire(&mut self, ji: usize) {
+        debug_assert_eq!(self.state[ji], JobState::Done, "only Done jobs retire");
+        debug_assert_eq!(self.node[ji], NO_NODE, "retired job still on a node");
+        self.archived.push(self.record(ji));
+        self.free.push(ji as u32);
+    }
+
+    /// Retire the finished job in slot `ji` and push its replacement in
+    /// one transaction — throughput-mode respawn. With recycling on,
+    /// the replacement lands in the slot just vacated; with the
+    /// `LINGER_NO_SLOT_REUSE=1` hatch nothing is retired and the
+    /// replacement appends, reproducing the historical layout byte for
+    /// byte (the Done row simply stays live, exactly as it always did).
+    pub fn respawn(&mut self, ji: usize, spec: JobSpec, queued_from: u32) -> usize {
+        if self.recycle {
+            self.retire(ji);
+        }
+        self.push(spec, queued_from)
+    }
+
+    /// Number of live slab rows (active jobs plus retired-but-unreused
+    /// slots) — the hot-lane footprint the window sweeps stride over.
     pub fn len(&self) -> usize {
         self.state.len()
     }
 
     /// True when no job has been submitted.
     pub fn is_empty(&self) -> bool {
-        self.state.is_empty()
+        self.state.is_empty() && self.archived.is_empty()
+    }
+
+    /// Jobs ever tracked: live slab rows plus archived records.
+    pub fn total_jobs(&self) -> usize {
+        self.state.len() + self.archived.len()
+    }
+
+    /// Number of records moved to the cold archive.
+    pub fn archived_len(&self) -> usize {
+        self.archived.len()
+    }
+
+    /// The archived (finished) records, in retirement order.
+    pub fn archived(&self) -> &[JobRecord] {
+        &self.archived
+    }
+
+    /// Whether retired slots are reused (false under
+    /// `LINGER_NO_SLOT_REUSE=1` or [`Self::set_slot_reuse`]).
+    pub fn slot_reuse(&self) -> bool {
+        self.recycle
+    }
+
+    /// Resident bytes of the live job lanes — every per-slot vector the
+    /// window sweeps can touch (hot lanes plus the cold slab), excluding
+    /// the archive. This is the footprint slot recycling pins at
+    /// `O(active jobs)`.
+    pub fn live_lane_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.state.len()
+            * (size_of::<JobState>()
+                + size_of::<u32>()
+                + size_of::<SimDuration>()
+                + size_of::<u32>()
+                + size_of::<SimTime>()
+                + size_of::<JobId>()
+                + size_of::<StateBreakdown>()
+                + size_of::<u32>()
+                + size_of::<JobCold>())
+    }
+
+    /// Override the recycling switch (tests and benches A/B the two
+    /// layouts in one process; the environment only sets the default).
+    pub fn set_slot_reuse(&mut self, on: bool) {
+        self.recycle = on;
     }
 
     /// Reconstruct the static spec of job `ji`.
@@ -424,9 +572,23 @@ impl JobSlabs {
         }
     }
 
-    /// Materialize every job in index order.
+    /// Materialize every *live* job in slot order. With recycling, slot
+    /// order is not id order — population-level consumers want
+    /// [`Self::all_records`].
     pub fn records(&self) -> Vec<JobRecord> {
         (0..self.len()).map(|ji| self.record(ji)).collect()
+    }
+
+    /// Materialize the full job population — archived and live — in
+    /// ascending id order: exactly the vector the append-only layout
+    /// produced (ids are minted in push order, so its slot order *was*
+    /// id order). Ids are unique, so the order is total.
+    pub fn all_records(&self) -> Vec<JobRecord> {
+        let mut records = Vec::with_capacity(self.total_jobs());
+        records.extend(self.archived.iter().cloned());
+        records.extend((0..self.len()).map(|ji| self.record(ji)));
+        records.sort_unstable_by_key(|r| r.spec.id.0);
+        records
     }
 }
 
@@ -489,5 +651,84 @@ mod tests {
         assert_eq!(got.node, None);
         assert_eq!(got.breakdown, fresh.breakdown);
         assert!(!got.has_run);
+    }
+
+    fn spec_with_id(id: u32) -> JobSpec {
+        JobSpec { id: JobId(id), ..spec() }
+    }
+
+    #[test]
+    fn retire_archives_the_final_record_and_recycles_the_slot() {
+        let mut slabs = JobSlabs::from_specs(&[spec_with_id(0), spec_with_id(1)]);
+        slabs.set_slot_reuse(true);
+        // Finish job 0 with some accumulated state, then retire it.
+        slabs.state[0] = JobState::Done;
+        slabs.node[0] = NO_NODE;
+        slabs.remaining[0] = SimDuration::ZERO;
+        slabs.breakdown[0].add(JobState::Running, SimDuration::from_secs(600));
+        slabs.cold[0].completed_at = Some(SimTime::from_secs(600));
+        slabs.cold[0].has_run = true;
+        let final_record = slabs.record(0);
+        let ji = slabs.respawn(0, spec_with_id(2), 7);
+        assert_eq!(ji, 0, "respawn must reuse the vacated slot");
+        assert_eq!(slabs.len(), 2, "live rows stay at the active-job count");
+        assert_eq!(slabs.total_jobs(), 3);
+        assert_eq!(slabs.archived_len(), 1);
+        // The archive holds the finished job verbatim...
+        let archived = &slabs.archived()[0];
+        assert_eq!(archived.spec, final_record.spec);
+        assert_eq!(archived.state, JobState::Done);
+        assert_eq!(archived.completed_at, final_record.completed_at);
+        assert_eq!(archived.breakdown, final_record.breakdown);
+        // ...and the slot is a fresh queued job under the new id.
+        let reborn = slabs.record(0);
+        assert_eq!(reborn.spec.id, JobId(2));
+        assert_eq!(reborn.state, JobState::Queued);
+        assert_eq!(reborn.remaining, spec().cpu_demand);
+        assert!(!reborn.has_run);
+        assert_eq!(slabs.queued_from[0], 7);
+    }
+
+    #[test]
+    fn respawn_without_reuse_appends_like_the_historical_layout() {
+        let mut slabs = JobSlabs::from_specs(&[spec_with_id(0)]);
+        slabs.set_slot_reuse(false);
+        slabs.state[0] = JobState::Done;
+        slabs.node[0] = NO_NODE;
+        let ji = slabs.respawn(0, spec_with_id(1), 3);
+        assert_eq!(ji, 1, "append-only respawn grows the slabs");
+        assert_eq!(slabs.len(), 2);
+        // The historical layout keeps the Done row live and archives
+        // nothing — `total_jobs` must not double-count the retiree.
+        assert_eq!(slabs.total_jobs(), 2);
+        assert_eq!(slabs.archived_len(), 0);
+        assert_eq!(slabs.record(0).state, JobState::Done);
+        assert_eq!(slabs.record(1).spec.id, JobId(1));
+        assert_eq!(slabs.queued_from[1], 3);
+    }
+
+    #[test]
+    fn all_records_reconstructs_the_population_in_id_order() {
+        let mut slabs = JobSlabs::from_specs(&[spec_with_id(0), spec_with_id(1)]);
+        slabs.set_slot_reuse(true);
+        // Retire id 1 first, then id 0 — archive order is retirement
+        // order (1, 0), live slots hold ids 3 (slot 1) and 2 (slot 0).
+        slabs.state[1] = JobState::Done;
+        slabs.node[1] = NO_NODE;
+        slabs.respawn(1, spec_with_id(2), 0);
+        // Slot 1 was freed and immediately reused, so id 2 landed there;
+        // now retire id 0 and respawn id 3 into slot 0.
+        assert_eq!(slabs.record(1).spec.id, JobId(2));
+        slabs.state[0] = JobState::Done;
+        slabs.node[0] = NO_NODE;
+        slabs.respawn(0, spec_with_id(3), 0);
+        assert_eq!(slabs.record(0).spec.id, JobId(3));
+        let ids: Vec<u32> = slabs.all_records().iter().map(|r| r.spec.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let states: Vec<JobState> = slabs.all_records().iter().map(|r| r.state).collect();
+        assert_eq!(
+            states,
+            vec![JobState::Done, JobState::Done, JobState::Queued, JobState::Queued]
+        );
     }
 }
