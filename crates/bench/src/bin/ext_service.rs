@@ -1,0 +1,51 @@
+//! Extension: open-arrivals service sweep — the four admission policies
+//! under Poisson offered loads from light traffic to deep overload. The
+//! paper replays a fixed batch; this sweep runs the cluster as an open
+//! service and shows graceful degradation at saturation: bounded queue
+//! depth, exact shed/defer/drop accounting, flat hot-state memory.
+
+use linger_bench::output::{banner, note_artifact, HarnessArgs};
+use linger_bench::{ext_service, write_json, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Extension: open-arrivals service",
+        "admission control and backpressure across offered loads",
+    );
+    let points = ext_service(args.seed, args.fast, args.ci_level);
+    let mut t = Table::new(vec![
+        "load",
+        "admission",
+        "generated",
+        "admitted",
+        "shed",
+        "dropped",
+        "deficit",
+        "completed",
+        "peak depth",
+        "thru/win",
+        "latency (s)",
+    ]);
+    for p in &points {
+        t.row(vec![
+            format!("{:.1}", p.offered_load),
+            p.admission.clone(),
+            format!("{}", p.generated),
+            format!("{}", p.admitted),
+            format!("{}", p.shed),
+            format!("{}", p.deadline_dropped),
+            format!("{}", p.deficit),
+            format!("{}", p.completed),
+            if p.queue_capacity == usize::MAX {
+                format!("{}", p.peak_queue_depth)
+            } else {
+                format!("{}/{}", p.peak_queue_depth, p.queue_capacity)
+            },
+            format!("{:.2} ±{:.2}", p.throughput_per_window, p.throughput_ci),
+            format!("{:.1} ±{:.1}", p.latency_secs, p.latency_ci),
+        ]);
+    }
+    t.print();
+    note_artifact("ext_service", write_json("ext_service", &points));
+}

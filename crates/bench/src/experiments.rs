@@ -847,6 +847,146 @@ pub fn ext_faults(seed: u64, fast: bool) -> Vec<FaultPoint> {
     })
 }
 
+// ----------------------------------------------- open-arrivals service
+
+/// Offered loads of the service sweep (fraction of cluster capacity):
+/// two undersaturated points, one mildly oversaturated, one deep in
+/// overload where an unbounded queue would grow without limit.
+pub const SERVICE_LOADS: [f64; 4] = [0.2, 0.6, 1.5, 4.0];
+
+/// Mean foreign-job CPU demand in the service sweep, seconds.
+pub const SERVICE_MEAN_CPU_SECS: f64 = 120.0;
+
+/// One deterministic cell of the open-arrivals service sweep: an
+/// admission policy held at an offered load for the full horizon. Every
+/// field is a pure function of `(seed, fast)`; arrivals are drawn from
+/// per-window keyed streams, so the JSON byte-diffs across machines and
+/// `--jobs` settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServicePoint {
+    /// Offered load as a fraction of cluster CPU capacity.
+    pub offered_load: f64,
+    /// Admission policy name (open / shed / block / deadline).
+    pub admission: String,
+    /// Windows simulated (horizon / 2 s).
+    pub windows: usize,
+    /// Arrivals the process offered.
+    pub generated: u64,
+    /// Arrivals admitted into the queue.
+    pub admitted: u64,
+    /// Arrivals dropped at a full queue.
+    pub shed: u64,
+    /// Arrival deferral events charged to backpressure.
+    pub deferred: u64,
+    /// Arrivals still blocked upstream at the horizon.
+    pub deficit: u64,
+    /// Largest upstream deficit ever reached.
+    pub peak_deficit: u64,
+    /// Queued jobs dropped for exceeding the deadline.
+    pub deadline_dropped: u64,
+    /// Windows in which admission hit the capacity limit.
+    pub saturated_windows: u64,
+    /// Largest admission-queue depth at a window boundary.
+    pub peak_queue_depth: usize,
+    /// Largest live job-slab row count (the flat-memory witness).
+    pub peak_live_rows: usize,
+    /// Effective queue capacity in entries (`u64::MAX` = unbounded).
+    pub queue_capacity: usize,
+    /// Jobs completed inside the horizon.
+    pub completed: usize,
+    /// Steady-state throughput, completions per 2 s window (batch
+    /// means).
+    pub throughput_per_window: f64,
+    /// Half-width of the throughput confidence interval (0 until two
+    /// batches exist).
+    pub throughput_ci: f64,
+    /// Steady-state completion latency, seconds (batch means).
+    pub latency_secs: f64,
+    /// Half-width of the latency confidence interval.
+    pub latency_ci: f64,
+    /// Cluster-wide foreground delay ratio.
+    pub foreground_delay: f64,
+}
+
+/// The open-arrivals service extension: every admission policy across
+/// [`SERVICE_LOADS`], Poisson arrivals onto a LingerLonger cluster.
+/// Undersaturated cells must serve everything; oversaturated cells must
+/// degrade gracefully — bounded queue depth, exact loss counters, flat
+/// hot-state memory — instead of growing without limit.
+///
+/// Cells fan out via [`par_map_indexed`] and share one workload
+/// realization; results are byte-identical at any thread count.
+pub fn ext_service(seed: u64, fast: bool, ci_level: f64) -> Vec<ServicePoint> {
+    use linger_cluster::{AdmissionPolicy, ServiceConfig};
+    use linger_workload::{ArrivalConfig, ArrivalProcess};
+
+    let nodes = if fast { 16 } else { 64 };
+    let horizon = SimTime::from_secs(if fast { 2 * 3600 } else { 48 * 3600 });
+    let trace_cfg = CoarseTraceConfig {
+        duration: SimDuration::from_secs(3600),
+        ..Default::default()
+    };
+    let real = TraceLibrary::global().realize(&trace_cfg, seed, nodes);
+    // CI half-widths collapse to 0 until two batches exist so the JSON
+    // stays plain numbers (the vendored serializer writes non-finite
+    // floats as null).
+    let ci = |bm: &linger_stats::BatchMeans| {
+        let hw = bm.ci_half_width(ci_level).expect("--ci is validated at parse time");
+        if hw.is_finite() { hw } else { 0.0 }
+    };
+    let n_cells = SERVICE_LOADS.len() * AdmissionPolicy::ALL.len();
+    par_map_indexed(n_cells, None, |idx| {
+        let load = SERVICE_LOADS[idx / AdmissionPolicy::ALL.len()];
+        let admission = AdmissionPolicy::ALL[idx % AdmissionPolicy::ALL.len()];
+        let mut cfg =
+            linger_cluster::ClusterConfig::paper(Policy::LingerLonger, JobFamily::empty());
+        cfg.nodes = nodes;
+        cfg.seed = seed;
+        cfg.trace = trace_cfg.clone();
+        cfg.mode = linger_cluster::RunMode::Open { horizon };
+        // `nodes` servers of 120 s jobs: load 1.0 = nodes * 30 per hour.
+        cfg.service = ServiceConfig {
+            arrivals: ArrivalConfig {
+                process: ArrivalProcess::Poisson {
+                    rate_per_hour: load * nodes as f64 * 3600.0 / SERVICE_MEAN_CPU_SECS,
+                },
+                mean_cpu_secs: SERVICE_MEAN_CPU_SECS,
+                mem_kb: 8 * 1024,
+            },
+            admission,
+            queue_capacity: 2 * nodes,
+            deadline_secs: 300.0,
+        };
+        let mut sim = linger_cluster::ClusterSim::with_realization(cfg, &real);
+        sim.run();
+        let windows = (sim.now().as_nanos() / linger_cluster::WINDOW.as_nanos()) as usize;
+        let s = sim.service_stats();
+        assert!(s.accounting_holds(), "loss accounting must balance in every cell");
+        ServicePoint {
+            offered_load: load,
+            admission: admission.name().to_string(),
+            windows,
+            generated: s.generated,
+            admitted: s.admitted,
+            shed: s.shed,
+            deferred: s.deferred,
+            deficit: s.deficit,
+            peak_deficit: s.peak_deficit,
+            deadline_dropped: s.deadline_dropped,
+            saturated_windows: s.saturated_windows,
+            peak_queue_depth: s.peak_queue_depth,
+            peak_live_rows: s.peak_live_rows,
+            queue_capacity: s.queue_capacity,
+            completed: sim.completed(),
+            throughput_per_window: s.throughput.mean(),
+            throughput_ci: ci(&s.throughput),
+            latency_secs: s.latency.mean(),
+            latency_ci: ci(&s.latency),
+            foreground_delay: sim.foreground_delay_ratio(),
+        }
+    })
+}
+
 // -------------------------------------------------------- ablations
 
 /// One row of a scalar-parameter ablation.

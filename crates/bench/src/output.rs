@@ -91,8 +91,10 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
 /// smoke testing), `--reps <n>` (replications with confidence intervals,
 /// where the binary supports it), `--jobs <n>` (worker threads for the
 /// deterministic parallel runner; 0 = one per core; output is
-/// byte-identical at any value), and `--max-nodes <n>` (truncate a
-/// node-count sweep, where the binary supports it).
+/// byte-identical at any value), `--max-nodes <n>` (truncate a
+/// node-count sweep, where the binary supports it), and `--ci <level>`
+/// (confidence level for interval half-widths; must be one of the
+/// supported z-table levels).
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessArgs {
     /// Master seed.
@@ -105,6 +107,9 @@ pub struct HarnessArgs {
     pub jobs: usize,
     /// Upper bound on a node-count sweep (`None` = run every count).
     pub max_nodes: Option<usize>,
+    /// Confidence level for interval half-widths (default 0.95;
+    /// validated against the supported z-table at parse time).
+    pub ci_level: f64,
 }
 
 /// Why the harness CLI arguments failed to parse.
@@ -128,7 +133,7 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(flag) => write!(f, "{flag} requires a value"),
             ArgError::InvalidValue { flag, value } => {
-                write!(f, "{flag} requires an integer, got '{value}'")
+                write!(f, "{flag} rejected value '{value}'")
             }
             ArgError::Unknown(arg) => write!(f, "unknown argument '{arg}'"),
         }
@@ -139,11 +144,12 @@ impl std::error::Error for ArgError {}
 
 /// One-line usage string shared by every figure binary.
 pub const USAGE: &str =
-    "usage: [--seed <n>] [--reps <n>] [--jobs <n>] [--max-nodes <n>] [--fast]\n\
+    "usage: [--seed <n>] [--reps <n>] [--jobs <n>] [--max-nodes <n>] [--ci <level>] [--fast]\n\
      --seed <n>       master seed (default 1998)\n\
      --reps <n>       replications where supported (default 1)\n\
      --jobs <n>       worker threads, 0 = one per core (default 0)\n\
      --max-nodes <n>  truncate a node-count sweep where supported\n\
+     --ci <level>     confidence level: 0.90, 0.95, or 0.99 (default 0.95)\n\
      --fast           scaled-down smoke run";
 
 impl HarnessArgs {
@@ -177,8 +183,14 @@ impl HarnessArgs {
         fn int<T: std::str::FromStr>(flag: &'static str, v: String) -> Result<T, ArgError> {
             v.parse().map_err(|_| ArgError::InvalidValue { flag, value: v })
         }
-        let mut parsed =
-            HarnessArgs { seed: 1998, fast: false, reps: 1, jobs: 0, max_nodes: None };
+        let mut parsed = HarnessArgs {
+            seed: 1998,
+            fast: false,
+            reps: 1,
+            jobs: 0,
+            max_nodes: None,
+            ci_level: 0.95,
+        };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -188,6 +200,17 @@ impl HarnessArgs {
                 "--max-nodes" => {
                     parsed.max_nodes =
                         Some(int("--max-nodes", value(&mut args, "--max-nodes")?)?)
+                }
+                "--ci" => {
+                    let v = value(&mut args, "--ci")?;
+                    // The typed error from the stats layer is the single
+                    // source of truth for which levels have a z-score.
+                    let level: f64 = v
+                        .parse()
+                        .ok()
+                        .filter(|&l| linger_stats::z_score(l).is_ok())
+                        .ok_or(ArgError::InvalidValue { flag: "--ci", value: v })?;
+                    parsed.ci_level = level;
                 }
                 "--fast" => parsed.fast = true,
                 other => return Err(ArgError::Unknown(other.to_string())),
@@ -281,6 +304,32 @@ mod tests {
         assert_eq!(
             HarnessArgs::try_parse(sv(&["--max-nodes", "lots"])).unwrap_err(),
             ArgError::InvalidValue { flag: "--max-nodes", value: "lots".into() }
+        );
+    }
+
+    #[test]
+    fn try_parse_accepts_supported_ci_levels() {
+        for (arg, z_ok) in [("0.90", true), ("0.95", true), ("0.99", true)] {
+            let a = HarnessArgs::try_parse(sv(&["--ci", arg])).unwrap();
+            assert_eq!(a.ci_level, arg.parse::<f64>().unwrap());
+            assert_eq!(linger_stats::z_score(a.ci_level).is_ok(), z_ok);
+        }
+        let a = HarnessArgs::try_parse(sv(&[])).unwrap();
+        assert_eq!(a.ci_level, 0.95, "default confidence level");
+    }
+
+    #[test]
+    fn try_parse_rejects_unsupported_ci_levels() {
+        for bad in ["0.80", "1.5", "ninety"] {
+            assert_eq!(
+                HarnessArgs::try_parse(sv(&["--ci", bad])).unwrap_err(),
+                ArgError::InvalidValue { flag: "--ci", value: bad.into() },
+                "--ci {bad} must be rejected at parse time"
+            );
+        }
+        assert_eq!(
+            HarnessArgs::try_parse(sv(&["--ci"])).unwrap_err(),
+            ArgError::MissingValue("--ci")
         );
     }
 

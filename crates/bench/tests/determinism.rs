@@ -6,7 +6,7 @@
 //! because the contract is bytes, not approximation.
 
 use linger::{JobFamily, Policy};
-use linger_bench::{fig03, fig05, fig10, Runner};
+use linger_bench::{ext_service, fig03, fig05, fig10, Runner};
 use linger_cluster::evaluate_policy_replicated;
 use linger_sim_core::{set_default_jobs, SimDuration};
 use std::sync::{Mutex, MutexGuard};
@@ -60,6 +60,16 @@ fn fanned_out_synthesis_feeding_serial_ingest_is_identical() {
     // must not depend on which worker synthesized which trace.
     let serial = json_at(1, || fig03(1998, true));
     assert_eq!(serial, json_at(3, || fig03(1998, true)), "fig03 diverged");
+}
+
+#[test]
+fn service_sweep_is_identical_serial_and_parallel() {
+    let _g = lock();
+    // The open-arrivals sweep draws its arrivals from per-window keyed
+    // streams; the cells (4 loads x 4 admission policies) must not
+    // depend on which worker ran which cell.
+    let serial = json_at(1, || ext_service(1998, true, 0.95));
+    assert_eq!(serial, json_at(4, || ext_service(1998, true, 0.95)), "ext_service diverged");
 }
 
 #[test]

@@ -4,7 +4,7 @@ use crate::faults::FaultConfig;
 use crate::network::NetworkModel;
 use linger::{JobFamily, Policy, PolicyParams};
 use linger_sim_core::{SimDuration, SimTime};
-use linger_workload::{BurstParamTable, CoarseTraceConfig, TOTAL_MEMORY_KB};
+use linger_workload::{ArrivalConfig, BurstParamTable, CoarseTraceConfig, TOTAL_MEMORY_KB};
 use serde::{Deserialize, Serialize};
 
 /// What the simulation run measures.
@@ -20,6 +20,85 @@ pub enum RunMode {
         /// The fixed horizon (paper: one hour).
         horizon: SimTime,
     },
+    /// Open-arrivals serving mode: jobs arrive from the configured
+    /// [`ServiceConfig`] process window by window, admission control
+    /// bounds the queue, and the run ends at the horizon regardless of
+    /// in-flight work (steady-state metrics come from batch means).
+    Open {
+        /// The serving horizon (sweeps use multi-day horizons).
+        horizon: SimTime,
+    },
+}
+
+/// What admission control does when arrivals meet a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit everything; the queue is unbounded. The measurement
+    /// baseline that shows *why* the bounded policies exist — under
+    /// sustained overload its queue grows without limit.
+    Open,
+    /// Shed on full: arrivals beyond the queue capacity are dropped on
+    /// the floor and counted. Loss system semantics (M/·/c/K).
+    Shed,
+    /// Backpressure: arrivals beyond capacity are deferred upstream (a
+    /// blocked-source deficit, O(1) state) and re-offered before new
+    /// arrivals in later windows. Nothing is lost; the source waits.
+    Block,
+    /// Shed on full *and* drop queued jobs whose waiting time exceeds
+    /// the configured deadline — the staleness-bounding variant.
+    Deadline,
+}
+
+impl AdmissionPolicy {
+    /// Stable label used by sweep tables and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Open => "open",
+            AdmissionPolicy::Shed => "shed",
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Deadline => "deadline",
+        }
+    }
+
+    /// Every policy, in declaration order.
+    pub const ALL: [AdmissionPolicy; 4] = [
+        AdmissionPolicy::Open,
+        AdmissionPolicy::Shed,
+        AdmissionPolicy::Block,
+        AdmissionPolicy::Deadline,
+    ];
+}
+
+/// Open-arrivals service configuration: the arrival process plus the
+/// overload-control contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Arrival process and per-job demand model.
+    pub arrivals: ArrivalConfig,
+    /// What to do when arrivals meet a full queue.
+    pub admission: AdmissionPolicy,
+    /// Admission-queue capacity, entries. The effective capacity is the
+    /// minimum of this and the `LINGER_QUEUE_BUDGET` byte budget divided
+    /// by the per-job row cost. Ignored by [`AdmissionPolicy::Open`].
+    pub queue_capacity: usize,
+    /// Queueing deadline, seconds ([`AdmissionPolicy::Deadline`] only):
+    /// a job still queued after this long is dropped unserved.
+    pub deadline_secs: f64,
+}
+
+impl ServiceConfig {
+    /// The inert default carried by closed-mode configs: zero-rate
+    /// arrivals, open admission. Serves nothing and changes nothing.
+    pub fn disabled() -> Self {
+        ServiceConfig {
+            arrivals: ArrivalConfig::disabled(),
+            admission: AdmissionPolicy::Open,
+            queue_capacity: usize::MAX,
+            // Finite sentinel: the vendored serde_json writes non-finite
+            // floats as `null`, which would not round-trip.
+            deadline_secs: f64::MAX,
+        }
+    }
 }
 
 /// Full configuration of a cluster run.
@@ -48,6 +127,9 @@ pub struct ClusterConfig {
     /// default is fully disabled, which leaves every run bit-identical
     /// to a fault-free simulation.
     pub faults: FaultConfig,
+    /// Open-arrivals service configuration. Inert (zero-rate, open
+    /// admission) unless `mode` is [`RunMode::Open`].
+    pub service: ServiceConfig,
     /// Master seed.
     pub seed: u64,
     /// Safety horizon for family mode (a run that exceeds it aborts).
@@ -71,6 +153,7 @@ impl ClusterConfig {
             node_memory_kb: TOTAL_MEMORY_KB,
             network: None,
             faults: FaultConfig::disabled(),
+            service: ServiceConfig::disabled(),
             seed: 0,
             max_time: SimTime::from_secs(24 * 3600),
         }
@@ -80,6 +163,15 @@ impl ClusterConfig {
     /// horizon.
     pub fn with_throughput_mode(mut self) -> Self {
         self.mode = RunMode::Throughput { horizon: SimTime::from_secs(3600) };
+        self
+    }
+
+    /// Switch to open-arrivals serving mode for `horizon` under the
+    /// given service configuration. The closed family is still submitted
+    /// at time zero (pass an empty family for a pure open run).
+    pub fn with_open_mode(mut self, service: ServiceConfig, horizon: SimTime) -> Self {
+        self.mode = RunMode::Open { horizon };
+        self.service = service;
         self
     }
 }
@@ -102,5 +194,43 @@ mod tests {
         let c = ClusterConfig::paper(Policy::LingerLonger, JobFamily::workload_2())
             .with_throughput_mode();
         assert_eq!(c.mode, RunMode::Throughput { horizon: SimTime::from_secs(3600) });
+    }
+
+    #[test]
+    fn open_mode_carries_service_config() {
+        use linger_workload::{ArrivalConfig, ArrivalProcess};
+        let service = ServiceConfig {
+            arrivals: ArrivalConfig {
+                process: ArrivalProcess::Poisson { rate_per_hour: 600.0 },
+                mean_cpu_secs: 120.0,
+                mem_kb: 8 * 1024,
+            },
+            admission: AdmissionPolicy::Shed,
+            queue_capacity: 128,
+            deadline_secs: 300.0,
+        };
+        let c = ClusterConfig::paper(Policy::LingerLonger, JobFamily::empty())
+            .with_open_mode(service, SimTime::from_secs(48 * 3600));
+        assert_eq!(c.mode, RunMode::Open { horizon: SimTime::from_secs(48 * 3600) });
+        assert_eq!(c.service.admission, AdmissionPolicy::Shed);
+        assert_eq!(c.service.queue_capacity, 128);
+    }
+
+    #[test]
+    fn admission_policy_names_are_distinct() {
+        let mut names: Vec<&str> = AdmissionPolicy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AdmissionPolicy::ALL.len());
+    }
+
+    #[test]
+    fn disabled_service_config_round_trips_through_json() {
+        // The digest serializes every config; the sentinel values must
+        // survive a JSON round trip (no non-finite floats).
+        let s = ServiceConfig::disabled();
+        let line = serde_json::to_string(&s).unwrap();
+        let back: ServiceConfig = serde_json::from_str(&line).unwrap();
+        assert_eq!(s, back);
     }
 }

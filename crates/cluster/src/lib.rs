@@ -39,10 +39,12 @@ pub mod config;
 pub mod faults;
 pub mod metrics;
 pub mod network;
+pub mod service;
 pub mod sim;
 pub mod state;
 
-pub use config::{ClusterConfig, RunMode};
+pub use config::{AdmissionPolicy, ClusterConfig, RunMode, ServiceConfig};
+pub use service::{ServiceStats, DEFAULT_QUEUE_BUDGET_BYTES};
 pub use faults::{FaultConfig, FaultEvent, FaultEventKind, FaultModel, FaultStats};
 pub use metrics::{
     evaluate_policy, evaluate_policy_replicated, policy_comparison, BreakdownSecs, Estimate,

@@ -340,7 +340,10 @@ pub struct Estimate {
 
 impl Estimate {
     fn from(o: &Online) -> Self {
-        Estimate { mean: o.mean(), ci95: o.ci_half_width(0.95) }
+        let ci95 = o
+            .ci_half_width(0.95)
+            .expect("0.95 is a supported confidence level");
+        Estimate { mean: o.mean(), ci95 }
     }
 }
 

@@ -28,8 +28,9 @@
 //! [`ClusterSim::set_shards`]); otherwise they run in-line, through the
 //! same buffers.
 
-use crate::config::{ClusterConfig, RunMode};
+use crate::config::{AdmissionPolicy, ClusterConfig, RunMode};
 use crate::faults::{FaultEventKind, FaultModel, FaultStats};
+use crate::service::{effective_queue_capacity, queue_budget_from_env, ServiceStats};
 use crate::state::{JobCold, JobRecord, JobSlabs, JobState, NodeId, NodeSlabs, NO_JOB, NO_NODE};
 use linger::cost::should_migrate;
 use linger::{JobId, JobSpec, Policy};
@@ -39,8 +40,8 @@ use linger_sim_core::{
 };
 use linger_telemetry::{DecisionAction, Event, EventKind, JournalCounts, Recorder};
 use linger_workload::{
-    CoarseTrace, RealizeOrigin, TraceLibrary, TwoPoolMemory, WindowCursor, WindowTable,
-    WorkloadRealization, SAMPLE_PERIOD_SECS,
+    ArrivalGenerator, CoarseTrace, RealizeOrigin, TraceLibrary, TwoPoolMemory, WindowCursor,
+    WindowTable, WorkloadRealization, SAMPLE_PERIOD_SECS,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -211,6 +212,16 @@ pub struct ClusterSim {
     /// Counters already flushed to the global registry (watermark, so
     /// repeated `run()` calls never double-count).
     telemetry_absorbed: JournalCounts,
+    /// Open-arrivals generator, present only in [`RunMode::Open`].
+    arrivals: Option<ArrivalGenerator>,
+    /// Service-mode counters and steady-state estimators.
+    service: ServiceStats,
+    /// Effective admission-queue capacity, entries (`usize::MAX` when
+    /// admission is open/unbounded or the run is closed).
+    queue_cap: usize,
+    /// Completion count at the previous window boundary (per-window
+    /// throughput deltas for the batch-means estimator).
+    last_completed: usize,
 }
 
 impl ClusterSim {
@@ -298,7 +309,7 @@ impl ClusterSim {
         // the same config realize identical failures.
         let horizon = match cfg.mode {
             RunMode::Family => cfg.max_time,
-            RunMode::Throughput { horizon } => horizon,
+            RunMode::Throughput { horizon } | RunMode::Open { horizon } => horizon,
         };
         let max_windows = (horizon.as_nanos() / WINDOW.as_nanos()) as usize + 1;
         let faults = FaultModel::new(cfg.faults, cfg.seed, n, max_windows);
@@ -312,6 +323,23 @@ impl ClusterSim {
             .unwrap_or(SHARD_THREAD_MIN_NODES);
         let plan = ShardPlan::new(n, shards.max(1));
         let shard_count = plan.shard_count().max(1);
+        // Open-arrivals wiring: the generator exists only in Open mode,
+        // and the admission queue is bounded only when a bounded policy
+        // asks for it — the capacity is the configured entry count
+        // clamped by the `LINGER_QUEUE_BUDGET` byte budget.
+        let (arrivals, queue_cap, queue_budget) = match cfg.mode {
+            RunMode::Open { .. } => {
+                let generator = ArrivalGenerator::new(&cfg.service.arrivals, cfg.seed);
+                let budget = queue_budget_from_env();
+                let cap = if cfg.service.admission == AdmissionPolicy::Open {
+                    usize::MAX
+                } else {
+                    effective_queue_capacity(cfg.service.queue_capacity, budget)
+                };
+                (Some(generator), cap, budget)
+            }
+            _ => (None, usize::MAX, 0),
+        };
         ClusterSim {
             cfg,
             nodes,
@@ -341,6 +369,10 @@ impl ClusterSim {
             fault_stats: FaultStats::default(),
             telemetry: Recorder::from_env(),
             telemetry_absorbed: JournalCounts::default(),
+            arrivals,
+            service: ServiceStats::new(queue_cap, queue_budget),
+            queue_cap,
+            last_completed: 0,
         }
     }
 
@@ -418,7 +450,15 @@ impl ClusterSim {
     pub fn jobs(&self) -> Vec<JobRecord> {
         let mut records = Vec::with_capacity(self.jobs.total_jobs());
         records.extend(self.jobs.archived().iter().cloned());
+        // Slots parked on the free list are stale copies of records
+        // already in the archive (open mode retires without a respawn
+        // to reuse the slot right away) — skip them.
+        let mut parked: Vec<u32> = self.jobs.parked_slots().to_vec();
+        parked.sort_unstable();
         for ji in 0..self.jobs.len() {
+            if parked.binary_search(&(ji as u32)).is_ok() {
+                continue;
+            }
             let mut rec = self.jobs.record(ji);
             // Queue time accrues lazily (one multiply at dequeue); jobs
             // still on the queue carry an unflushed span — patch it in
@@ -495,6 +535,12 @@ impl ClusterSim {
         self.fault_stats
     }
 
+    /// Service-mode counters and steady-state estimators (inert zeros
+    /// unless the run mode is [`RunMode::Open`]).
+    pub fn service_stats(&self) -> &ServiceStats {
+        &self.service
+    }
+
     /// Wall-clock seconds spent building streamed window chunks so far
     /// (0 for table-backed and trace-only realizations). Chunk builds
     /// are deferred synthesis, so harnesses attribute this to setup and
@@ -542,7 +588,7 @@ impl ClusterSim {
                         break false;
                     }
                 }
-                RunMode::Throughput { horizon } => {
+                RunMode::Throughput { horizon } | RunMode::Open { horizon } => {
                     if self.now() >= horizon {
                         break true;
                     }
@@ -607,6 +653,15 @@ impl ClusterSim {
                 FaultEventKind::Crash => self.crash_node(ev.node, t),
                 FaultEventKind::Reboot => self.reboot_node(ev.node),
             }
+        }
+
+        // 1b. Open arrivals and admission control (serving mode only).
+        //     Injection precedes migration arrivals and placement, so an
+        //     arrival admitted this window is placeable this window —
+        //     matching the closed family, whose time-zero jobs are
+        //     placeable in window 0.
+        if self.arrivals.is_some() {
+            self.inject_arrivals(t);
         }
 
         // 2. Shared-network transfer progress, then migration arrivals.
@@ -700,6 +755,17 @@ impl ClusterSim {
         //    phase 6 with identical bytes and zero per-window cost.
         self.place_queued(t);
 
+        // 6. Service-mode steady-state accounting: per-window completed
+        //    deltas feed the throughput batch means; depth/row peaks are
+        //    the bounded-state witnesses the scorecard checks.
+        if self.arrivals.is_some() {
+            let delta = self.completed - self.last_completed;
+            self.last_completed = self.completed;
+            self.service.throughput.add(delta as f64);
+            self.service.peak_queue_depth = self.service.peak_queue_depth.max(self.queue.len());
+            self.service.peak_live_rows = self.service.peak_live_rows.max(self.jobs.len());
+        }
+
         self.window += 1;
     }
 
@@ -725,6 +791,141 @@ impl ClusterSim {
         let w = self.window as u32;
         if w > from {
             self.jobs.breakdown[ji].queued += Self::window_span(w - from);
+        }
+    }
+
+    /// Phase 1b (serving mode): draw this window's arrivals and run them
+    /// through admission control. All counters are exact; the identity
+    /// `generated == admitted + shed + deficit` holds after every window.
+    fn inject_arrivals(&mut self, t: SimTime) {
+        let mut generator = self.arrivals.take().expect("open mode has a generator");
+        let offered = generator.begin_window();
+        let policy = self.cfg.service.admission;
+
+        // Deadline policy: renege over-age jobs from the queue head
+        // before admitting, so freshly freed capacity is usable at once.
+        if policy == AdmissionPolicy::Deadline {
+            self.renege_expired(t);
+        }
+
+        self.service.generated += offered as u64;
+        let mut admitted = 0u32;
+        let mut refused = false;
+        match policy {
+            AdmissionPolicy::Open => {
+                for _ in 0..offered {
+                    self.admit_arrival(&mut generator, t);
+                }
+                admitted = offered;
+            }
+            AdmissionPolicy::Shed | AdmissionPolicy::Deadline => {
+                let space = self.queue_cap.saturating_sub(self.queue.len());
+                let take = (offered as usize).min(space) as u32;
+                for _ in 0..take {
+                    self.admit_arrival(&mut generator, t);
+                }
+                admitted = take;
+                let dropped = offered - take;
+                if dropped > 0 {
+                    refused = true;
+                    self.service.shed += dropped as u64;
+                    self.telemetry.record(|| {
+                        self.event_at(t, EventKind::AdmissionShed { count: dropped })
+                    });
+                }
+            }
+            AdmissionPolicy::Block => {
+                // Backpressure: the blocked source re-offers its deficit
+                // (FIFO upstream) before this window's new arrivals;
+                // whatever still does not fit stays upstream as O(1)
+                // counter state — nothing is lost, nothing unbounded.
+                // Deficit jobs draw their demands from the window that
+                // admits them, so draining needs this window's stream
+                // (present whenever the window's rate was positive).
+                let mut space = self.queue_cap.saturating_sub(self.queue.len());
+                if generator.has_window_stream() {
+                    let drain = (self.service.deficit).min(space as u64) as u32;
+                    for _ in 0..drain {
+                        self.admit_arrival(&mut generator, t);
+                    }
+                    admitted += drain;
+                    self.service.deficit -= drain as u64;
+                    space -= drain as usize;
+                }
+                let take = (offered as usize).min(space) as u32;
+                for _ in 0..take {
+                    self.admit_arrival(&mut generator, t);
+                }
+                admitted += take;
+                let deferred = offered - take;
+                if deferred > 0 || self.service.deficit > 0 {
+                    refused = deferred > 0;
+                    self.service.deferred += deferred as u64;
+                    self.service.deficit += deferred as u64;
+                    self.service.peak_deficit =
+                        self.service.peak_deficit.max(self.service.deficit);
+                    let deficit = self.service.deficit;
+                    self.telemetry.record(|| {
+                        self.event_at(t, EventKind::AdmissionDefer { count: deferred, deficit })
+                    });
+                }
+            }
+        }
+        if refused {
+            self.service.saturated_windows += 1;
+        }
+        if offered > 0 || admitted > 0 {
+            let depth = self.queue.len() as u32;
+            self.telemetry.record(|| {
+                self.event_at(t, EventKind::ArrivalBurst { offered, admitted, depth })
+            });
+        }
+        self.arrivals = Some(generator);
+    }
+
+    /// Admit one arrival: draw its demand, mint the next job id, push a
+    /// live slab row (recycling a retired slot when enabled), and join
+    /// the FIFO queue. Arrival time is the current window start, so the
+    /// job is placeable this very window and its lazy queue-time span
+    /// starts exactly here.
+    fn admit_arrival(&mut self, generator: &mut ArrivalGenerator, t: SimTime) {
+        let (cpu_demand, mem_kb) = generator.draw_demand();
+        let spec = JobSpec { id: JobId(self.next_job_id), cpu_demand, mem_kb, arrival: t };
+        self.next_job_id += 1;
+        let ji = self.jobs.push(spec, self.window as u32);
+        self.queue.push_back(ji);
+        self.service.admitted += 1;
+    }
+
+    /// Drop queued jobs whose waiting time exceeds the deadline. The
+    /// queue is FIFO and every (re)enqueue stamps the current window, so
+    /// effective entry windows are non-decreasing front to back and the
+    /// scan stops at the first unexpired job.
+    fn renege_expired(&mut self, t: SimTime) {
+        let deadline_secs = self.cfg.service.deadline_secs;
+        let w = self.window as u32;
+        while let Some(&ji) = self.queue.front() {
+            let from = self.jobs.queued_from[ji].max(self.arrival_window(ji));
+            let waited = if w > from { Self::window_span(w - from) } else { SimDuration::ZERO };
+            if waited.as_secs_f64() <= deadline_secs {
+                break;
+            }
+            self.queue.pop_front();
+            self.flush_queue_time(ji);
+            self.jobs.state[ji] = JobState::Done;
+            self.jobs.node[ji] = NO_NODE;
+            self.service.deadline_dropped += 1;
+            let job = self.jobs.id[ji].0;
+            let waited_secs = waited.as_secs_f64();
+            self.telemetry.record(|| {
+                self.event_at(t, EventKind::DeadlineDrop { waited_secs }).for_job(job)
+            });
+            // Dropped-unserved jobs retire like completions: record to
+            // the cold archive, recycle the slot. They are *not* counted
+            // completed and carry no `completed_at`.
+            if self.jobs.slot_reuse() {
+                self.jobs.retire(ji);
+            }
         }
     }
 
@@ -1272,21 +1473,34 @@ impl ClusterSim {
             .on_node(node.0 as u32)
             .for_job(self.jobs.id[ji].0)
         });
-        if let RunMode::Throughput { .. } = self.cfg.mode {
-            // Hold the number of jobs in the system constant.
-            let spec = JobSpec {
-                id: JobId(self.next_job_id),
-                arrival: at,
-                cpu_demand: self.jobs.cold[ji].cpu_demand,
-                mem_kb: self.jobs.mem_kb[ji],
-            };
-            self.next_job_id += 1;
-            // Retire the finished record into the archive and respawn in
-            // the freed slot (or append when `LINGER_NO_SLOT_REUSE=1`):
-            // the id above comes from the same counter either way, so
-            // recycling only changes the slab index, never the identity.
-            let new_ji = self.jobs.respawn(ji, spec, self.window as u32);
-            self.queue.push_back(new_ji);
+        match self.cfg.mode {
+            RunMode::Throughput { .. } => {
+                // Hold the number of jobs in the system constant.
+                let spec = JobSpec {
+                    id: JobId(self.next_job_id),
+                    arrival: at,
+                    cpu_demand: self.jobs.cold[ji].cpu_demand,
+                    mem_kb: self.jobs.mem_kb[ji],
+                };
+                self.next_job_id += 1;
+                // Retire the finished record into the archive and respawn
+                // in the freed slot (or append when
+                // `LINGER_NO_SLOT_REUSE=1`): the id above comes from the
+                // same counter either way, so recycling only changes the
+                // slab index, never the identity.
+                let new_ji = self.jobs.respawn(ji, spec, self.window as u32);
+                self.queue.push_back(new_ji);
+            }
+            RunMode::Open { .. } => {
+                // Serving mode: the latency estimator sees every
+                // completion, and the finished row retires so live state
+                // tracks the active population, not the total flow.
+                self.service.latency.add(completion_secs);
+                if self.jobs.slot_reuse() {
+                    self.jobs.retire(ji);
+                }
+            }
+            RunMode::Family => {}
         }
     }
 
@@ -2023,5 +2237,181 @@ mod tests {
         sim.run();
         let d = sim.foreground_delay_ratio();
         assert!(d < 0.02, "foreground delay {d} too large");
+    }
+
+    /// An 8-node open-arrivals config. `load` is the offered utilization
+    /// (arrival rate × mean demand ÷ capacity); above 1.0 oversubscribes.
+    fn open_cfg(admission: AdmissionPolicy, load: f64, cap: usize, horizon_secs: u64) -> ClusterConfig {
+        use crate::config::ServiceConfig;
+        use linger_workload::{ArrivalConfig, ArrivalProcess};
+        let mut cfg = ClusterConfig::paper(Policy::LingerLonger, JobFamily::empty());
+        cfg.nodes = 8;
+        cfg.trace.duration = SimDuration::from_secs(2 * 3600);
+        cfg.seed = 11;
+        // 8 nodes × 3600 s/h ÷ 120 s/job = 240 jobs/hour at load 1.0.
+        cfg.service = ServiceConfig {
+            arrivals: ArrivalConfig {
+                process: ArrivalProcess::Poisson { rate_per_hour: load * 240.0 },
+                mean_cpu_secs: 120.0,
+                mem_kb: 8 * 1024,
+            },
+            admission,
+            queue_capacity: cap,
+            deadline_secs: 120.0,
+        };
+        cfg.mode = RunMode::Open { horizon: SimTime::from_secs(horizon_secs) };
+        cfg
+    }
+
+    #[test]
+    fn open_mode_serves_under_light_load() {
+        let mut sim = ClusterSim::new(open_cfg(AdmissionPolicy::Shed, 0.3, 64, 3600));
+        assert!(sim.run());
+        let s = sim.service_stats();
+        assert!(s.generated > 0, "poisson at 72/hour must generate arrivals");
+        assert_eq!(s.shed, 0, "an undersubscribed bounded queue sheds nothing");
+        assert_eq!(s.deadline_dropped, 0);
+        assert!(s.accounting_holds());
+        assert!(sim.completed() > 0, "light load must complete jobs");
+        assert!(s.throughput.batches() > 0, "one-hour run forms throughput batches");
+    }
+
+    #[test]
+    fn open_mode_shed_bounds_queue_and_counts_exactly() {
+        let cap = 16;
+        let mut sim = ClusterSim::new(open_cfg(AdmissionPolicy::Shed, 4.0, cap, 3600));
+        assert!(sim.run());
+        let s = sim.service_stats().clone();
+        assert!(s.shed > 0, "4× overload at capacity {cap} must shed");
+        assert!(s.saturated_windows > 0);
+        assert_eq!(s.generated, s.admitted + s.shed);
+        assert_eq!(s.deficit, 0, "shed never defers");
+        // The queue itself never exceeds the admission capacity by more
+        // than the already-admitted work a window can bounce back
+        // (evictions/crashes bypass admission by design).
+        assert!(
+            s.peak_queue_depth <= cap + sim.cfg.nodes,
+            "peak depth {} above bound {}",
+            s.peak_queue_depth,
+            cap + sim.cfg.nodes
+        );
+        // Bounded queue + per-node hosting ⇒ bounded live rows: the
+        // flat-memory witness under sustained 4× overload.
+        assert!(
+            s.peak_live_rows <= cap + 2 * sim.cfg.nodes,
+            "live rows {} not flat",
+            s.peak_live_rows
+        );
+        assert!(sim.completed() > 0);
+    }
+
+    #[test]
+    fn open_mode_block_defers_without_loss() {
+        let cap = 16;
+        let mut sim = ClusterSim::new(open_cfg(AdmissionPolicy::Block, 3.0, cap, 3600));
+        assert!(sim.run());
+        let s = sim.service_stats();
+        assert!(s.deferred > 0, "3× overload must defer");
+        assert_eq!(s.shed, 0, "backpressure never drops");
+        assert_eq!(s.deadline_dropped, 0);
+        assert!(s.deficit > 0, "sustained overload keeps a deficit");
+        assert!(s.peak_deficit >= s.deficit);
+        assert!(s.accounting_holds());
+        assert!(s.peak_queue_depth <= cap + sim.cfg.nodes);
+    }
+
+    #[test]
+    fn open_mode_deadline_drops_stale_jobs() {
+        let mut cfg = open_cfg(AdmissionPolicy::Deadline, 4.0, 32, 3600);
+        cfg.service.deadline_secs = 60.0;
+        let mut sim = ClusterSim::new(cfg);
+        assert!(sim.run());
+        let s = sim.service_stats();
+        assert!(s.deadline_dropped > 0, "60 s deadline under 4× overload must drop");
+        assert!(s.accounting_holds());
+        // Dropped jobs are archived unserved: no completion stamp.
+        let records = sim.jobs();
+        let unserved = records
+            .iter()
+            .filter(|r| r.state == JobState::Done && r.completed_at.is_none())
+            .count() as u64;
+        assert_eq!(unserved, s.deadline_dropped);
+        // Every record is archived or live exactly once.
+        assert_eq!(records.len(), sim.jobs.total_jobs());
+    }
+
+    #[test]
+    fn open_admission_baseline_grows_where_bounded_stays_flat() {
+        // The motivating contrast: same 4× overload, open admission lets
+        // the queue grow past any bound a shed queue respects.
+        let open = {
+            let mut sim = ClusterSim::new(open_cfg(AdmissionPolicy::Open, 4.0, 16, 1800));
+            sim.run();
+            sim.service_stats().clone()
+        };
+        let shed = {
+            let mut sim = ClusterSim::new(open_cfg(AdmissionPolicy::Shed, 4.0, 16, 1800));
+            sim.run();
+            sim.service_stats().clone()
+        };
+        assert_eq!(open.shed, 0);
+        assert!(
+            open.peak_queue_depth > 4 * shed.peak_queue_depth,
+            "unbounded {} vs bounded {}",
+            open.peak_queue_depth,
+            shed.peak_queue_depth
+        );
+    }
+
+    #[test]
+    fn open_mode_deterministic_across_shards_and_slot_reuse() {
+        for admission in AdmissionPolicy::ALL {
+            let outcome = |shards: usize, reuse: bool| {
+                let mut cfg = open_cfg(admission, 2.0, 24, 1800);
+                cfg.faults.crash_rate_per_hour = 0.5;
+                cfg.faults.migration_failure_prob = 0.2;
+                let mut sim = ClusterSim::new(cfg).with_shards(shards);
+                sim.set_slot_reuse(reuse);
+                sim.set_shard_threading_min(1);
+                run_outcome(sim)
+            };
+            let base = outcome(1, true);
+            assert_eq!(base, outcome(4, true), "{admission:?}: shards changed bytes");
+            assert_eq!(base, outcome(1, false), "{admission:?}: slot reuse changed bytes");
+            assert_eq!(base, outcome(4, false), "{admission:?}: both changed bytes");
+        }
+    }
+
+    #[test]
+    fn zero_rate_open_run_reproduces_family_outcome() {
+        // A closed-equivalent schedule: the same family, no arrivals.
+        // Open mode must reproduce the batch replay byte for byte (the
+        // horizon only adds post-completion windows, which touch no job).
+        let family = {
+            let mut sim = ClusterSim::new(small_cfg(Policy::LingerLonger));
+            sim.run();
+            (sim.jobs(), sim.completed(), sim.foreign_cpu_delivered())
+        };
+        let open = {
+            let mut cfg = small_cfg(Policy::LingerLonger);
+            cfg.mode = RunMode::Open { horizon: SimTime::from_secs(3600) };
+            let mut sim = ClusterSim::new(cfg);
+            sim.run();
+            (sim.jobs(), sim.completed(), sim.foreign_cpu_delivered())
+        };
+        assert_eq!(family.1, open.1, "same completions");
+        assert_eq!(family.2, open.2, "same foreign CPU");
+        assert_eq!(family.0, open.0, "identical job records");
+    }
+
+    #[test]
+    fn service_stats_inert_in_closed_modes() {
+        let mut sim = ClusterSim::new(small_cfg(Policy::LingerLonger));
+        sim.run();
+        let s = sim.service_stats();
+        assert_eq!(s.generated, 0);
+        assert_eq!(s.admitted, 0);
+        assert_eq!(s.throughput.batches(), 0);
+        assert_eq!(s.peak_queue_depth, 0);
     }
 }

@@ -84,7 +84,7 @@ impl StateBreakdown {
 }
 
 /// A job being tracked by the scheduler.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// The static spec.
     pub spec: JobSpec,
@@ -486,9 +486,18 @@ impl JobSlabs {
         self.state.is_empty() && self.archived.is_empty()
     }
 
-    /// Jobs ever tracked: live slab rows plus archived records.
+    /// Jobs ever tracked: live slab rows plus archived records. Slots
+    /// parked on the free list hold stale copies of archived records,
+    /// so they are excluded.
     pub fn total_jobs(&self) -> usize {
-        self.state.len() + self.archived.len()
+        self.state.len() - self.free.len() + self.archived.len()
+    }
+
+    /// Slots parked on the free list (retired, awaiting reuse). Their
+    /// rows are stale copies of already-archived records; population
+    /// walks must skip them.
+    pub fn parked_slots(&self) -> &[u32] {
+        &self.free
     }
 
     /// Number of records moved to the cold archive.
@@ -507,22 +516,28 @@ impl JobSlabs {
         self.recycle
     }
 
+    /// Resident cost of one live job row across every per-slot lane
+    /// (hot lanes plus the cold slab) — the unit the admission queue's
+    /// `LINGER_QUEUE_BUDGET` byte budget divides by.
+    pub fn job_row_bytes() -> usize {
+        use std::mem::size_of;
+        size_of::<JobState>()
+            + size_of::<u32>()
+            + size_of::<SimDuration>()
+            + size_of::<u32>()
+            + size_of::<SimTime>()
+            + size_of::<JobId>()
+            + size_of::<StateBreakdown>()
+            + size_of::<u32>()
+            + size_of::<JobCold>()
+    }
+
     /// Resident bytes of the live job lanes — every per-slot vector the
     /// window sweeps can touch (hot lanes plus the cold slab), excluding
     /// the archive. This is the footprint slot recycling pins at
     /// `O(active jobs)`.
     pub fn live_lane_bytes(&self) -> usize {
-        use std::mem::size_of;
-        self.state.len()
-            * (size_of::<JobState>()
-                + size_of::<u32>()
-                + size_of::<SimDuration>()
-                + size_of::<u32>()
-                + size_of::<SimTime>()
-                + size_of::<JobId>()
-                + size_of::<StateBreakdown>()
-                + size_of::<u32>()
-                + size_of::<JobCold>())
+        self.state.len() * Self::job_row_bytes()
     }
 
     /// Override the recycling switch (tests and benches A/B the two

@@ -39,6 +39,12 @@ pub struct JobFamily {
 }
 
 impl JobFamily {
+    /// An empty family: no closed-batch jobs. The starting population
+    /// for pure open-arrivals (serving-mode) runs.
+    pub fn empty() -> Self {
+        JobFamily { jobs: Vec::new() }
+    }
+
     /// A family of `count` identical jobs of `cpu_demand` each, `mem_kb`
     /// resident, all arriving at time zero.
     pub fn uniform(count: u32, cpu_demand: SimDuration, mem_kb: u32) -> Self {

@@ -88,6 +88,9 @@ pub mod domains {
     pub const NODE_FAULTS: u32 = 9;
     /// Per-migration in-transit failure draws (fault injection).
     pub const MIGRATION_FAULTS: u32 = 10;
+    /// Open-arrivals process generation (stream 0 = modulation phase
+    /// chain, stream `w + 1` = window `w`'s arrival count and demands).
+    pub const ARRIVALS: u32 = 11;
 }
 
 /// The master seed for replication `r` of an experiment seeded `base`.

@@ -9,6 +9,36 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Error returned when a confidence level has no z-score in the table.
+///
+/// Only 0.90, 0.95 and 0.99 are supported; anything else used to panic
+/// deep inside the accumulators. Callers (e.g. a CLI `--ci` flag) can now
+/// surface this as a normal argument error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnsupportedConfidence(pub f64);
+
+impl std::fmt::Display for UnsupportedConfidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsupported confidence level {} (use 0.90/0.95/0.99)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedConfidence {}
+
+/// Normal z-score for a supported two-sided confidence `level`.
+pub fn z_score(level: f64) -> Result<f64, UnsupportedConfidence> {
+    match level {
+        l if (l - 0.90).abs() < 1e-9 => Ok(1.6449),
+        l if (l - 0.95).abs() < 1e-9 => Ok(1.9600),
+        l if (l - 0.99).abs() < 1e-9 => Ok(2.5758),
+        other => Err(UnsupportedConfidence(other)),
+    }
+}
+
 /// Welford online mean/variance accumulator.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Online {
@@ -127,17 +157,16 @@ impl Online {
 
     /// Normal-approximation half-width of the `level` confidence interval
     /// for the mean, e.g. `level = 0.95`.
-    pub fn ci_half_width(&self, level: f64) -> f64 {
+    ///
+    /// Returns [`UnsupportedConfidence`] for levels outside the z-table
+    /// (0.90/0.95/0.99); with fewer than two observations the half-width
+    /// is `∞` (the level is still validated first).
+    pub fn ci_half_width(&self, level: f64) -> Result<f64, UnsupportedConfidence> {
+        let z = z_score(level)?;
         if self.n < 2 {
-            return f64::INFINITY;
+            return Ok(f64::INFINITY);
         }
-        let z = match level {
-            l if (l - 0.90).abs() < 1e-9 => 1.6449,
-            l if (l - 0.95).abs() < 1e-9 => 1.9600,
-            l if (l - 0.99).abs() < 1e-9 => 2.5758,
-            _ => panic!("unsupported confidence level {level} (use 0.90/0.95/0.99)"),
-        };
-        z * self.std_dev() / (self.n as f64).sqrt()
+        Ok(z * self.std_dev() / (self.n as f64).sqrt())
     }
 }
 
@@ -213,7 +242,18 @@ mod tests {
         o.add(3.0);
         assert_eq!(o.mean(), 3.0);
         assert_eq!(o.variance(), 0.0);
-        assert_eq!(o.ci_half_width(0.95), f64::INFINITY);
+        assert_eq!(o.ci_half_width(0.95).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn unsupported_confidence_is_a_typed_error() {
+        let mut o = Online::new();
+        o.extend([1.0, 2.0, 3.0]);
+        let err = o.ci_half_width(0.42).unwrap_err();
+        assert_eq!(err, UnsupportedConfidence(0.42));
+        assert!(err.to_string().contains("0.42"));
+        // The level is validated even when n < 2 would short-circuit.
+        assert!(Online::new().ci_half_width(0.5).is_err());
     }
 
     #[test]
@@ -263,8 +303,8 @@ mod tests {
         for i in 0..1000 {
             large.add((i % 10) as f64);
         }
-        assert!(large.ci_half_width(0.95) < small.ci_half_width(0.95));
-        assert!(small.ci_half_width(0.99) > small.ci_half_width(0.90));
+        assert!(large.ci_half_width(0.95).unwrap() < small.ci_half_width(0.95).unwrap());
+        assert!(small.ci_half_width(0.99).unwrap() > small.ci_half_width(0.90).unwrap());
     }
 
     #[test]
@@ -336,7 +376,7 @@ impl BatchMeans {
     }
 
     /// Confidence-interval half-width over batch means.
-    pub fn ci_half_width(&self, level: f64) -> f64 {
+    pub fn ci_half_width(&self, level: f64) -> Result<f64, UnsupportedConfidence> {
         self.batches.ci_half_width(level)
     }
 }
@@ -384,8 +424,8 @@ mod batch_tests {
         assert!((raw.mean() - batched.mean()).abs() < 0.3);
         // …but the per-observation CI is misleadingly narrow relative to
         // the batch-mean CI scaled for sample counts.
-        let raw_ci = raw.ci_half_width(0.95);
-        let batch_ci = batched.ci_half_width(0.95);
+        let raw_ci = raw.ci_half_width(0.95).unwrap();
+        let batch_ci = batched.ci_half_width(0.95).unwrap();
         assert!(batch_ci > raw_ci, "batched {batch_ci} vs raw {raw_ci}");
     }
 

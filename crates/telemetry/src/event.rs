@@ -158,6 +158,34 @@ pub enum EventKind {
         /// Foreground preemptions of the foreign job.
         preemptions: u64,
     },
+    /// Open-arrivals window summary: the offered/admitted split and the
+    /// queue depth after admission. Emitted only on windows with offered
+    /// arrivals (or a draining backpressure deficit).
+    ArrivalBurst {
+        /// Arrivals the process offered this window.
+        offered: u32,
+        /// Arrivals admitted into the queue (includes drained deficit).
+        admitted: u32,
+        /// Queue depth after admission.
+        depth: u32,
+    },
+    /// Shed-on-full admission dropped arrivals at a full queue.
+    AdmissionShed {
+        /// Arrivals dropped this window.
+        count: u32,
+    },
+    /// Backpressure admission deferred arrivals (blocked source).
+    AdmissionDefer {
+        /// Arrivals newly deferred this window.
+        count: u32,
+        /// Total arrivals still waiting upstream after this window.
+        deficit: u64,
+    },
+    /// A queued job exceeded its deadline and was dropped unserved.
+    DeadlineDrop {
+        /// Time the job had waited in the queue, seconds.
+        waited_secs: f64,
+    },
 }
 
 impl EventKind {
@@ -179,6 +207,10 @@ impl EventKind {
             EventKind::TraceCacheMiss => "trace_cache_miss",
             EventKind::TraceCacheBypass => "trace_cache_bypass",
             EventKind::NodeStudy { .. } => "node_study",
+            EventKind::ArrivalBurst { .. } => "arrival_burst",
+            EventKind::AdmissionShed { .. } => "admission_shed",
+            EventKind::AdmissionDefer { .. } => "admission_defer",
+            EventKind::DeadlineDrop { .. } => "deadline_drop",
         }
     }
 

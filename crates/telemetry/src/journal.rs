@@ -69,7 +69,7 @@ impl JournalCounts {
 }
 
 /// Number of `EventKind` variants (see [`kind_slot`]).
-pub const KIND_SLOTS: usize = 15;
+pub const KIND_SLOTS: usize = 19;
 /// Number of `DecisionAction` variants.
 pub const ACTION_SLOTS: usize = 9;
 
@@ -92,6 +92,10 @@ pub fn kind_slot(kind: &EventKind) -> usize {
         EventKind::TraceCacheMiss => 12,
         EventKind::TraceCacheBypass => 13,
         EventKind::NodeStudy { .. } => 14,
+        EventKind::ArrivalBurst { .. } => 15,
+        EventKind::AdmissionShed { .. } => 16,
+        EventKind::AdmissionDefer { .. } => 17,
+        EventKind::DeadlineDrop { .. } => 18,
     }
 }
 
@@ -112,6 +116,10 @@ pub const KIND_NAMES: [&str; KIND_SLOTS] = [
     "trace_cache_miss",
     "trace_cache_bypass",
     "node_study",
+    "arrival_burst",
+    "admission_shed",
+    "admission_defer",
+    "deadline_drop",
 ];
 
 struct Ring {
@@ -424,6 +432,10 @@ mod tests {
             EventKind::TraceCacheMiss,
             EventKind::TraceCacheBypass,
             EventKind::NodeStudy { utilization: 0.0, ldr: 0.0, fcsr: 0.0, preemptions: 0 },
+            EventKind::ArrivalBurst { offered: 0, admitted: 0, depth: 0 },
+            EventKind::AdmissionShed { count: 0 },
+            EventKind::AdmissionDefer { count: 0, deficit: 0 },
+            EventKind::DeadlineDrop { waited_secs: 0.0 },
         ];
         assert_eq!(samples.len(), KIND_SLOTS);
         for k in &samples {

@@ -149,9 +149,35 @@ impl Gauge {
     }
 }
 
+/// Default byte budget for [`MetricsRegistry`]'s keyed maps (16 MiB).
+pub const DEFAULT_METRICS_BUDGET_BYTES: usize = 16 << 20;
+
+/// Approximate resident cost of one keyed-map entry (key + count +
+/// B-tree node overhead). Deliberately conservative: the budget is a
+/// guarantee against unbounded growth, not an exact allocator model.
+const MAP_ENTRY_BYTES: usize = 48;
+
+/// The `MetricsRegistry` byte budget from the environment
+/// (`LINGER_METRICS_BUDGET`, bytes), or the default.
+pub fn metrics_budget_from_env() -> usize {
+    std::env::var("LINGER_METRICS_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_METRICS_BUDGET_BYTES)
+}
+
 /// Offline aggregation of one journal: counters per kind and per node,
 /// per-window activity, queue-depth gauge, and fixed-bucket histograms
 /// of the quantities that drive the figures.
+///
+/// The per-node and per-window maps are the registry's only state whose
+/// size follows the *input* (fleet size × horizon) rather than the fixed
+/// event vocabulary, so they carry an explicit byte budget mirroring the
+/// telemetry ring contract: once `budget_bytes` of entries are resident,
+/// *new* keys are dropped (and counted exactly in `dropped_keys`) while
+/// already-tracked keys keep counting. Set `LINGER_METRICS_BUDGET`
+/// (bytes) to tune; the histograms, kind/action counters, and scalar
+/// totals are vocabulary-bounded and always exact.
 pub struct MetricsRegistry {
     /// Event totals by kind name (resident events only).
     pub counters: BTreeMap<String, u64>,
@@ -180,11 +206,21 @@ pub struct MetricsRegistry {
     pub completions: u64,
     /// Total migrations reported by completed jobs.
     pub migrations: u64,
+    /// Byte budget the keyed maps were held under.
+    pub budget_bytes: usize,
+    /// Map keys dropped because admitting them would exceed the budget.
+    pub dropped_keys: u64,
 }
 
 impl MetricsRegistry {
-    /// Aggregate a (snapshot of a) journal.
+    /// Aggregate a (snapshot of a) journal under the environment budget
+    /// (`LINGER_METRICS_BUDGET` bytes, default 16 MiB).
     pub fn from_events(events: &[Event]) -> MetricsRegistry {
+        Self::from_events_with_budget(events, metrics_budget_from_env())
+    }
+
+    /// Aggregate under an explicit keyed-map byte budget.
+    pub fn from_events_with_budget(events: &[Event], budget_bytes: usize) -> MetricsRegistry {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut decisions: BTreeMap<String, u64> = BTreeMap::new();
         let mut per_node: BTreeMap<u32, u64> = BTreeMap::new();
@@ -198,12 +234,26 @@ impl MetricsRegistry {
         let mut breakdown_totals = [0.0f64; 5];
         let mut completions = 0u64;
         let mut migrations = 0u64;
+        let max_entries = budget_bytes / MAP_ENTRY_BYTES;
+        let mut dropped_keys = 0u64;
         for ev in events {
             *counters.entry(ev.kind.name().to_string()).or_default() += 1;
             if let Some(n) = ev.node {
-                *per_node.entry(n).or_default() += 1;
+                if let Some(c) = per_node.get_mut(&n) {
+                    *c += 1;
+                } else if per_node.len() + per_window.len() < max_entries {
+                    per_node.insert(n, 1);
+                } else {
+                    dropped_keys += 1;
+                }
             }
-            *per_window.entry(ev.window).or_default() += 1;
+            if let Some(c) = per_window.get_mut(&ev.window) {
+                *c += 1;
+            } else if per_node.len() + per_window.len() < max_entries {
+                per_window.insert(ev.window, 1);
+            } else {
+                dropped_keys += 1;
+            }
             max_window = max_window.max(ev.window);
             match &ev.kind {
                 EventKind::WindowStart { queue_depth: d } => {
@@ -260,6 +310,8 @@ impl MetricsRegistry {
             breakdown_totals,
             completions,
             migrations,
+            budget_bytes,
+            dropped_keys,
         }
     }
 
@@ -320,6 +372,30 @@ mod tests {
         assert!((m.avg_completion_secs() - 17.0).abs() < 1e-9);
         assert_eq!(m.linger_age.total(), 1);
         assert_eq!(m.per_node[&1], 2);
+    }
+
+    #[test]
+    fn keyed_maps_respect_byte_budget_with_exact_drop_counts() {
+        // 5 windows × 1 event each on 5 distinct nodes = 10 candidate
+        // keys. Budget for 4 entries: the rest are dropped and counted.
+        let events: Vec<Event> = (0..5u32)
+            .map(|w| {
+                Event::new(w, w as u64 * 2_000_000_000, EventKind::QueueEnter).on_node(100 + w)
+            })
+            .collect();
+        let m = MetricsRegistry::from_events_with_budget(&events, 4 * 48);
+        let tracked_windows = m.events_per_window.total() as usize;
+        assert_eq!(m.per_node.len() + tracked_windows, 4);
+        assert_eq!(m.dropped_keys, 6);
+        assert_eq!(m.budget_bytes, 4 * 48);
+        // Vocabulary-bounded counters stay exact regardless of budget.
+        assert_eq!(m.counters["queue_enter"], 5);
+        assert_eq!(m.max_window, 4);
+        // A roomy budget drops nothing.
+        let full = MetricsRegistry::from_events_with_budget(&events, 1 << 20);
+        assert_eq!(full.dropped_keys, 0);
+        assert_eq!(full.per_node.len(), 5);
+        assert_eq!(full.events_per_window.total(), 5);
     }
 
     #[test]

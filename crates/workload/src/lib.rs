@@ -14,6 +14,8 @@
 //!   rule, and a synthesizer calibrated to the Arpaci-trace aggregates the
 //!   paper reports (substitution 2);
 //! * [`analysis`] — re-derivation of Figs 2, 3 and 4 from traces;
+//! * [`arrivals`] — deterministic open-arrival processes (Poisson and
+//!   two-phase MMPP) for the serving mode, seeded per window;
 //! * [`generator`] — the two-level generator wiring coarse traces to the
 //!   burst process (Fig 6);
 //! * [`library`] — the shared workload-realization cache: one synthesis
@@ -54,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arrivals;
 pub mod burst;
 pub mod coarse;
 pub mod dispatch;
@@ -68,6 +71,7 @@ pub mod stream;
 pub mod trace_text;
 
 pub use analysis::{CoarseAggregates, FineGrainAnalysis};
+pub use arrivals::{ArrivalConfig, ArrivalGenerator, ArrivalProcess};
 pub use burst::{Burst, BurstGenerator, BurstKind, MIN_BURST};
 pub use coarse::{
     CoarseSample, CoarseTrace, CoarseTraceConfig, TraceStream, IDLE_CPU_THRESHOLD,
